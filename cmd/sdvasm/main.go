@@ -1,0 +1,84 @@
+// Command sdvasm assembles, disassembles and functionally executes specvec
+// assembly programs (no timing model — use sdvsim for that).
+//
+// Usage:
+//
+//	sdvasm -run prog.s              # assemble and execute, dump registers
+//	sdvasm -dis prog.s              # assemble and print the listing
+//	sdvasm -run prog.s -trace 20    # also print the first N dynamic instructions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specvec/internal/asm"
+	"specvec/internal/emu"
+	"specvec/internal/isa"
+)
+
+func main() {
+	var (
+		runFile = flag.String("run", "", "assemble and functionally execute this file")
+		disFile = flag.String("dis", "", "assemble and disassemble this file")
+		trace   = flag.Int("trace", 0, "print the first N executed instructions")
+		limit   = flag.Uint64("limit", 10_000_000, "instruction budget")
+	)
+	flag.Parse()
+
+	switch {
+	case *disFile != "":
+		prog := mustAssemble(*disFile)
+		fmt.Print(asm.Disassemble(prog))
+	case *runFile != "":
+		prog := mustAssemble(*runFile)
+		m, err := emu.New(prog)
+		if err != nil {
+			fatal(err)
+		}
+		var executed uint64
+		for !m.Halted() && executed < *limit {
+			d := m.Step()
+			executed++
+			if int(executed) <= *trace {
+				fmt.Printf("%6d  pc=%-5d %s\n", d.Seq, d.PC, d.Inst)
+			}
+		}
+		if !m.Halted() {
+			fatal(fmt.Errorf("instruction budget exhausted after %d", executed))
+		}
+		fmt.Printf("halted after %d instructions\n\nnon-zero integer registers:\n", executed)
+		for i := 0; i < 32; i++ {
+			if v := m.IntReg(i); v != 0 {
+				fmt.Printf("  r%-2d = %d\n", i, v)
+			}
+		}
+		fmt.Println("non-zero FP registers:")
+		for i := 0; i < 32; i++ {
+			if v := m.FPReg(i); v != 0 {
+				fmt.Printf("  f%-2d = %g\n", i, v)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustAssemble(path string) *isa.Program {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdvasm:", err)
+	os.Exit(1)
+}

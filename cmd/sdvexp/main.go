@@ -1,0 +1,64 @@
+// Command sdvexp regenerates the figures and tables of "Speculative
+// Dynamic Vectorization" (ISCA 2002).
+//
+// Usage:
+//
+//	sdvexp -list
+//	sdvexp -exp fig11 [-scale 300000] [-seed 1]
+//	sdvexp -exp all
+//
+// Each experiment prints one or more benchmark × series tables with INT /
+// FP / Spec95 aggregate rows, plus the paper's reference values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specvec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig1, fig3, fig7, fig9, fig10, fig11, fig12, fig13, fig14, fig15, table1, headline, veclen, ablation) or 'all'")
+		scale = flag.Int("scale", 300_000, "approximate dynamic instructions per run")
+		seed  = flag.Int64("seed", 1, "workload data seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	runner := experiments.NewRunner(experiments.Options{Scale: *scale, Seed: *seed})
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tables, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("[%s in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

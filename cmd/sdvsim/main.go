@@ -1,0 +1,109 @@
+// Command sdvsim runs one workload (or an assembly file) on one processor
+// configuration and prints the simulation statistics.
+//
+// Usage:
+//
+//	sdvsim -workload swim -config 4w-1pV -max 500000
+//	sdvsim -asm kernel.s -config 8w-2pIM
+//	sdvsim -workloads            # list available workloads
+//
+// Configuration names follow the paper: <width>w-<ports>p<mode> with mode
+// one of noIM (scalar buses), IM (wide bus) and V (wide bus + speculative
+// dynamic vectorization).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specvec/internal/asm"
+	"specvec/internal/config"
+	"specvec/internal/isa"
+	"specvec/internal/pipeline"
+	"specvec/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "", "benchmark name (see -workloads)")
+		asmFile  = flag.String("asm", "", "assembly file to run instead of a workload")
+		cfgName  = flag.String("config", "4w-1pV", "configuration name, e.g. 4w-1pV, 8w-4pnoIM")
+		max      = flag.Uint64("max", 500_000, "maximum committed instructions")
+		scale    = flag.Int("scale", 500_000, "workload scale (approximate dynamic instructions)")
+		seed     = flag.Int64("seed", 1, "workload data seed")
+		listWLs  = flag.Bool("workloads", false, "list workloads and exit")
+		listCfgs = flag.Bool("configs", false, "list configurations and exit")
+	)
+	flag.Parse()
+
+	if *listWLs {
+		for _, b := range workload.All() {
+			kind := "int"
+			if b.FP {
+				kind = "fp"
+			}
+			fmt.Printf("%-9s [%s] %s\n", b.Name, kind, b.Description)
+		}
+		return
+	}
+	if *listCfgs {
+		for _, c := range config.Matrix() {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+
+	cfg, err := parseConfig(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prog *isa.Program
+	switch {
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = asm.Assemble(*asmFile, string(src))
+		if err != nil {
+			fatal(err)
+		}
+	case *wl != "":
+		b, err := workload.Get(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		prog = b.Build(*scale, *seed)
+	default:
+		fatal(fmt.Errorf("need -workload or -asm (see -workloads)"))
+	}
+
+	sim, err := pipeline.New(cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := sim.Run(*max)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program %s on %s\n\n%s", prog.Name, cfg.Name, st.String())
+}
+
+// parseConfig resolves a paper-style configuration name.
+func parseConfig(name string) (config.Config, error) {
+	for _, c := range config.Matrix() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return config.Config{}, fmt.Errorf("unknown config %q (want e.g. %s)",
+		name, strings.Join([]string{"4w-1pV", "8w-4pnoIM"}, ", "))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdvsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package specvec reproduces "Speculative Dynamic Vectorization"
+// (A. Pajuelo, A. González, M. Valero, ISCA 2002): a cycle-level
+// out-of-order superscalar simulator extended with the paper's Table of
+// Loads, Vector Register Map Table and speculative vector datapath, plus
+// the synthetic Spec95-like workload suite and the experiment harness that
+// regenerates every figure of the paper's evaluation.
+//
+// Layout:
+//
+//	internal/isa         instruction set, program container, builder
+//	internal/asm         text assembler / disassembler
+//	internal/emu         functional emulator (architectural oracle)
+//	internal/mem         caches, MSHRs, scalar/wide data ports
+//	internal/branch      gshare predictor, BTB, return stack
+//	internal/core        the paper's contribution: TL, VRMT, vector registers
+//	internal/pipeline    cycle-level OoO model with the SDV extension
+//	internal/workload    12 synthetic Spec95-like benchmarks
+//	internal/experiments figures/tables of §4 and the headline numbers
+//	cmd/sdvsim           run one workload on one configuration
+//	cmd/sdvexp           regenerate any figure or table
+//	cmd/sdvasm           assemble/disassemble/execute assembly programs
+//
+// The benchmarks in bench_test.go regenerate each figure at reduced scale;
+// see EXPERIMENTS.md for full-scale paper-vs-measured results.
+package specvec

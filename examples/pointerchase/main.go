@@ -1,0 +1,80 @@
+// Pointerchase: the paper's central claim is that SIMD parallelism hides
+// in irregular, pointer-rich code where a vectorizing compiler fails. This
+// example walks a linked list — opaque to any static analysis — whose
+// nodes happen to be allocated contiguously (as bump allocators tend to
+// do). The Table of Loads discovers that the car/cdr loads stride by the
+// node size and vectorizes the walk speculatively.
+//
+//	go run ./examples/pointerchase
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specvec/internal/config"
+	"specvec/internal/isa"
+	"specvec/internal/pipeline"
+)
+
+const (
+	nodes     = 4096
+	nodeBytes = 24 // value, next, payload pointer
+)
+
+func main() {
+	prog := buildListSum()
+
+	fmt.Println("kernel: sum of a 4096-node linked list (24-byte nodes, bump-allocated)")
+	fmt.Println()
+	fmt.Printf("%-8s %8s %10s %14s %12s\n", "mode", "IPC", "cycles", "vector loads", "validated%")
+	var base, vec float64
+	for _, mode := range []config.Mode{config.ModeIM, config.ModeV} {
+		cfg := config.MustNamed(4, 1, mode)
+		sim, err := pipeline.New(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := sim.Run(1 << 62)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %8.3f %10d %14d %11.1f%%\n",
+			mode, st.IPC(), st.Cycles, st.VectorLoadInstances, 100*st.ValidationFraction())
+		if mode == config.ModeIM {
+			base = st.IPC()
+		} else {
+			vec = st.IPC()
+		}
+	}
+	fmt.Println()
+	fmt.Printf("speculative dynamic vectorization speedup on pointer chasing: %+.1f%%\n",
+		100*(vec-base)/base)
+	fmt.Println("(a static compiler cannot vectorize this loop: the addresses are data-dependent)")
+}
+
+func buildListSum() *isa.Program {
+	b := isa.NewBuilder("listsum")
+	// Bump-allocated nodes: node i at heap + i*nodeBytes.
+	heap := make([]uint64, nodes*nodeBytes/8)
+	for i := 0; i < nodes; i++ {
+		heap[i*3] = uint64(i % 97) // value
+		if i < nodes-1 {
+			heap[i*3+1] = uint64(isa.DataBase + (i+1)*nodeBytes) // next
+		}
+		heap[i*3+2] = uint64(isa.DataBase) // payload (unused)
+	}
+	b.DataWords("heap", heap) // first block: placed exactly at DataBase
+
+	r := isa.IntReg
+	b.LoadAddr(r(1), "heap") // cur
+	b.Li(r(2), 0)            // sum
+	b.Label("walk")
+	b.Ld(r(3), r(1), 0) // cur.value   — strided in practice
+	b.Ld(r(4), r(1), 8) // cur.next    — strided in practice
+	b.Add(r(2), r(2), r(3))
+	b.Add(r(1), r(4), r(0)) // cur = cur.next (data-dependent address!)
+	b.Bne(r(4), r(0), "walk")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,329 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"specvec/internal/isa"
+)
+
+// operand shapes understood by the instruction parser.
+type form int
+
+const (
+	formNone   form = iota // halt, nop
+	formMem                // op rX, imm(rY)
+	formRRR                // op rd, rs1, rs2
+	formRRI                // op rd, rs1, imm
+	formRR                 // op rd, rs1
+	formRImm               // op rd, imm-or-data-label
+	formBranch             // op rs1, rs2, codelabel
+	formJump               // op codelabel
+	formJal                // op rd, codelabel
+	formJr                 // op rs1 [, imm]
+)
+
+type opSpec struct {
+	op   isa.Op
+	form form
+}
+
+var mnemonics = map[string]opSpec{
+	"nop":  {isa.OpNop, formNone},
+	"halt": {isa.OpHalt, formNone},
+
+	"ld":  {isa.OpLd, formMem},
+	"ldf": {isa.OpLdf, formMem},
+	"st":  {isa.OpSt, formMem},
+	"stf": {isa.OpStf, formMem},
+
+	"add":  {isa.OpAdd, formRRR},
+	"sub":  {isa.OpSub, formRRR},
+	"mul":  {isa.OpMul, formRRR},
+	"div":  {isa.OpDiv, formRRR},
+	"rem":  {isa.OpRem, formRRR},
+	"and":  {isa.OpAnd, formRRR},
+	"or":   {isa.OpOr, formRRR},
+	"xor":  {isa.OpXor, formRRR},
+	"sll":  {isa.OpSll, formRRR},
+	"srl":  {isa.OpSrl, formRRR},
+	"sra":  {isa.OpSra, formRRR},
+	"slt":  {isa.OpSlt, formRRR},
+	"sltu": {isa.OpSltu, formRRR},
+
+	"addi": {isa.OpAddi, formRRI},
+	"andi": {isa.OpAndi, formRRI},
+	"ori":  {isa.OpOri, formRRI},
+	"xori": {isa.OpXori, formRRI},
+	"slli": {isa.OpSlli, formRRI},
+	"srli": {isa.OpSrli, formRRI},
+	"srai": {isa.OpSrai, formRRI},
+	"slti": {isa.OpSlti, formRRI},
+	"li":   {isa.OpLi, formRImm},
+
+	"fadd":    {isa.OpFadd, formRRR},
+	"fsub":    {isa.OpFsub, formRRR},
+	"fmul":    {isa.OpFmul, formRRR},
+	"fdiv":    {isa.OpFdiv, formRRR},
+	"fneg":    {isa.OpFneg, formRR},
+	"fabs":    {isa.OpFabs, formRR},
+	"fmov":    {isa.OpFmov, formRR},
+	"fcvt.if": {isa.OpFcvtIF, formRR},
+	"fcvt.fi": {isa.OpFcvtFI, formRR},
+	"flt":     {isa.OpFlt, formRRR},
+	"fle":     {isa.OpFle, formRRR},
+	"feq":     {isa.OpFeq, formRRR},
+
+	"beq":  {isa.OpBeq, formBranch},
+	"bne":  {isa.OpBne, formBranch},
+	"blt":  {isa.OpBlt, formBranch},
+	"bge":  {isa.OpBge, formBranch},
+	"bltu": {isa.OpBltu, formBranch},
+	"bgeu": {isa.OpBgeu, formBranch},
+	"j":    {isa.OpJ, formJump},
+	"jal":  {isa.OpJal, formJal},
+	"jr":   {isa.OpJr, formJr},
+}
+
+func (a *assembler) instruction(mnem, rest string) error {
+	spec, ok := mnemonics[mnem]
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	ops := splitOperands(rest)
+
+	switch spec.form {
+	case formNone:
+		if len(ops) != 0 {
+			return a.errf("%s takes no operands", mnem)
+		}
+		a.b.Emit(isa.Inst{Op: spec.op})
+
+	case formMem:
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
+		data, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: spec.op, Rs1: base, Imm: off}
+		if spec.op == isa.OpSt || spec.op == isa.OpStf {
+			in.Rs2 = data
+		} else {
+			in.Rd = data
+		}
+		a.b.Emit(in)
+
+	case formRRR:
+		rd, rs1, rs2, err := a.regs3(mnem, ops)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Inst{Op: spec.op, Rd: rd, Rs1: rs1, Rs2: rs2})
+
+	case formRRI:
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immediate(ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Inst{Op: spec.op, Rd: rd, Rs1: rs1, Imm: imm})
+
+	case formRR:
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Inst{Op: spec.op, Rd: rd, Rs1: rs1})
+
+	case formRImm:
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.immediate(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Inst{Op: spec.op, Rd: rd, Imm: imm})
+
+	case formBranch:
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rs1, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		switch spec.op {
+		case isa.OpBeq:
+			a.b.Beq(rs1, rs2, ops[2])
+		case isa.OpBne:
+			a.b.Bne(rs1, rs2, ops[2])
+		case isa.OpBlt:
+			a.b.Blt(rs1, rs2, ops[2])
+		case isa.OpBge:
+			a.b.Bge(rs1, rs2, ops[2])
+		case isa.OpBltu:
+			a.b.Bltu(rs1, rs2, ops[2])
+		case isa.OpBgeu:
+			a.b.Bgeu(rs1, rs2, ops[2])
+		}
+
+	case formJump:
+		if len(ops) != 1 {
+			return a.errf("j needs 1 operand")
+		}
+		a.b.J(ops[0])
+
+	case formJal:
+		if len(ops) != 2 {
+			return a.errf("jal needs 2 operands")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Jal(rd, ops[1])
+
+	case formJr:
+		if len(ops) != 1 && len(ops) != 2 {
+			return a.errf("jr needs 1 or 2 operands")
+		}
+		rs1, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		var off int64
+		if len(ops) == 2 {
+			off, err = parseIntLit(ops[1])
+			if err != nil {
+				return a.errf("bad jr offset %q", ops[1])
+			}
+		}
+		a.b.Jr(rs1, off)
+	}
+	return nil
+}
+
+func (a *assembler) regs3(mnem string, ops []string) (rd, rs1, rs2 isa.Reg, err error) {
+	if len(ops) != 3 {
+		return 0, 0, 0, a.errf("%s needs 3 operands", mnem)
+	}
+	if rd, err = a.reg(ops[0]); err != nil {
+		return
+	}
+	if rs1, err = a.reg(ops[1]); err != nil {
+		return
+	}
+	rs2, err = a.reg(ops[2])
+	return
+}
+
+func (a *assembler) reg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 {
+		return 0, a.errf("bad register %q", s)
+	}
+	var fp bool
+	switch s[0] {
+	case 'r':
+	case 'f':
+		fp = true
+	default:
+		return 0, a.errf("bad register %q", s)
+	}
+	n := 0
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return 0, a.errf("bad register %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n >= isa.NumIntRegs {
+		return 0, a.errf("register %q out of range", s)
+	}
+	if fp {
+		return isa.FPReg(n), nil
+	}
+	return isa.IntReg(n), nil
+}
+
+// memOperand parses "imm(rB)" or "(rB)".
+func (a *assembler) memOperand(s string) (off int64, base isa.Reg, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close <= open {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	if immStr := strings.TrimSpace(s[:open]); immStr != "" {
+		off, err = parseIntLit(immStr)
+		if err != nil {
+			return 0, 0, a.errf("bad displacement %q", immStr)
+		}
+	}
+	base, err = a.reg(s[open+1 : close])
+	return off, base, err
+}
+
+// immediate parses an integer literal or a data label reference.
+func (a *assembler) immediate(s string) (int64, error) {
+	if v, err := parseIntLit(s); err == nil {
+		return v, nil
+	}
+	// Data label. In the data-only pass the label may not exist yet — the
+	// instruction is skipped anyway, so return a placeholder.
+	if a.dataOnly {
+		return 0, nil
+	}
+	addr := a.b.DataAddr(s)
+	if a.b.Err() != nil {
+		return 0, a.errf("unknown immediate or data label %q", s)
+	}
+	return int64(addr), nil
+}
+
+// Disassemble renders a program listing with labels and addresses.
+func Disassemble(p *isa.Program) string {
+	labelAt := map[uint64][]string{}
+	for name, pc := range p.Symbols {
+		labelAt[pc] = append(labelAt[pc], name)
+	}
+	var sb strings.Builder
+	for pc, in := range p.Insts {
+		for _, l := range labelAt[uint64(pc)] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "%6d:  %s\n", pc, in)
+	}
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+package branch
+
+import (
+	"testing"
+
+	"specvec/internal/isa"
+)
+
+func TestLoopBranchConverges(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(100)
+	// A loop branch taken 99 times then not taken: after warmup the
+	// predictor should be right on every taken iteration.
+	wrong := 0
+	for i := 0; i < 99; i++ {
+		if !p.PredictCond(pc) {
+			wrong++
+		}
+		p.UpdateCond(pc, true)
+	}
+	if wrong > 2 {
+		t.Errorf("taken loop mispredicted %d times", wrong)
+	}
+}
+
+func TestAlternatingWithHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(64)
+	// Strictly alternating T/N/T/N is perfectly predictable with global
+	// history once warmed up.
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if p.PredictCond(pc) != taken {
+			wrong++
+		}
+		p.UpdateCond(pc, taken)
+	}
+	if wrong > 200 {
+		t.Errorf("alternating pattern mispredicted %d/2000 times", wrong)
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	p := New(Config{TableBits: 4, HistoryBits: 0, BTBEntries: 4, RASDepth: 4})
+	pc := uint64(3)
+	for i := 0; i < 10; i++ {
+		p.UpdateCond(pc, true)
+	}
+	if !p.PredictCond(pc) {
+		t.Error("saturated taken counter predicts not-taken")
+	}
+	for i := 0; i < 10; i++ {
+		p.UpdateCond(pc, false)
+	}
+	if p.PredictCond(pc) {
+		t.Error("saturated not-taken counter predicts taken")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PredictIndirect(7); ok {
+		t.Error("cold BTB produced a prediction")
+	}
+	p.UpdateIndirect(7, 1234)
+	target, ok := p.PredictIndirect(7)
+	if !ok || target != 1234 {
+		t.Errorf("BTB = %d,%v want 1234,true", target, ok)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Call(11)
+	p.Call(22)
+	if tgt, ok := p.PredictReturn(); !ok || tgt != 22 {
+		t.Errorf("first return = %d,%v", tgt, ok)
+	}
+	if tgt, ok := p.PredictReturn(); !ok || tgt != 11 {
+		t.Errorf("second return = %d,%v", tgt, ok)
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Error("empty RAS produced a prediction")
+	}
+}
+
+func TestPredictDispatch(t *testing.T) {
+	p := New(DefaultConfig())
+
+	// Direct jump: always correct.
+	next, ok := p.Predict(5, isa.Inst{Op: isa.OpJ, Imm: 42}, false, 42)
+	if !ok || next != 42 {
+		t.Errorf("j predict = %d,%v", next, ok)
+	}
+
+	// Call then return through the RAS: correct.
+	p.Predict(10, isa.Inst{Op: isa.OpJal, Rd: isa.IntReg(31), Imm: 100}, false, 100)
+	next, ok = p.Predict(105, isa.Inst{Op: isa.OpJr, Rs1: isa.IntReg(31)}, false, 11)
+	if !ok || next != 11 {
+		t.Errorf("return predict = %d,%v want 11,true", next, ok)
+	}
+
+	// Indirect jump through a non-link register: BTB cold miss first.
+	_, ok = p.Predict(200, isa.Inst{Op: isa.OpJr, Rs1: isa.IntReg(5)}, false, 300)
+	if ok {
+		t.Error("cold indirect predicted correctly")
+	}
+	next, ok = p.Predict(200, isa.Inst{Op: isa.OpJr, Rs1: isa.IntReg(5)}, false, 300)
+	if !ok || next != 300 {
+		t.Errorf("warm indirect = %d,%v", next, ok)
+	}
+
+	// Non-control falls through.
+	next, ok = p.Predict(7, isa.Inst{Op: isa.OpAdd}, false, 0)
+	if !ok || next != 8 {
+		t.Errorf("non-control = %d,%v", next, ok)
+	}
+}
+
+func TestConditionalPredictOutcome(t *testing.T) {
+	p := New(DefaultConfig())
+	br := isa.Inst{Op: isa.OpBne, Imm: 3}
+	// Train taken.
+	for i := 0; i < 8; i++ {
+		p.Predict(50, br, true, 3)
+	}
+	next, correct := p.Predict(50, br, true, 3)
+	if !correct || next != 3 {
+		t.Errorf("trained branch: next=%d correct=%v", next, correct)
+	}
+	// A not-taken outcome now is a mispredict and predicted next is the
+	// taken target (what fetch would have followed).
+	next, correct = p.Predict(50, br, false, 3)
+	if correct {
+		t.Error("surprise not-taken reported as correct")
+	}
+	if next != 3 {
+		t.Errorf("predicted next = %d, want taken target 3", next)
+	}
+}

@@ -1,0 +1,26 @@
+// Package core implements the paper's contribution: the speculative
+// dynamic vectorization engine that a superscalar pipeline consults at
+// decode time.
+//
+// It contains the three hardware structures added by the paper (§3):
+//
+//   - TableOfLoads (TL): per-static-load stride history with a confidence
+//     counter; when confidence reaches the threshold, the load becomes a
+//     candidate for vectorization (§3.2, Figure 4).
+//   - VRMT (Vector Register Map Table): maps the PC of a vectorized
+//     instruction to its vector register, the next element to validate
+//     (offset) and the source operands it was vectorized with (§3.2,
+//     Figure 5).
+//   - RegFile: the vector register file — 128 registers × 4 × 64-bit
+//     elements, each element carrying the V/R/U/F flags, and each register
+//     the MRBB tag and, for loads, the accessed address range used by the
+//     store coherence check (§3.3, §3.6, Figure 8).
+//
+// A Journal records decode-time side effects so the pipeline can rewind
+// them when a store/vector-register conflict squashes in-flight
+// instructions (§3.6). Commit-time effects (V and F flags, register
+// reclamation) are never rolled back and are not journalled.
+//
+// The pipeline package drives these structures; this package holds all
+// state transitions so they can be unit- and property-tested in isolation.
+package core

@@ -1,0 +1,59 @@
+package core
+
+// Journal is an undo log for decode-time state changes. Entries are pushed
+// in program (sequence) order as instructions decode; RewindTo undoes, in
+// reverse order, every entry belonging to squashed instructions so the
+// replayed decodes start from exactly the pre-squash state.
+type Journal struct {
+	entries []jentry
+	head    int // index of the oldest live entry
+}
+
+type jentry struct {
+	seq  uint64
+	undo func()
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Push records an undo action for the instruction with sequence seq.
+// Sequences must be non-decreasing (decode is in order). A nil journal
+// discards the record — commit-time effects are never rolled back, so
+// callers mutating state at commit pass nil.
+func (j *Journal) Push(seq uint64, undo func()) {
+	if j == nil {
+		return
+	}
+	j.entries = append(j.entries, jentry{seq: seq, undo: undo})
+}
+
+// RewindTo undoes every entry with sequence >= seq, newest first.
+func (j *Journal) RewindTo(seq uint64) {
+	for len(j.entries) > j.head {
+		last := j.entries[len(j.entries)-1]
+		if last.seq < seq {
+			return
+		}
+		last.undo()
+		j.entries = j.entries[:len(j.entries)-1]
+	}
+}
+
+// Prune forgets entries with sequence < seq (already committed; a squash
+// can never reach behind the commit point). Memory is compacted when the
+// dead prefix grows large.
+func (j *Journal) Prune(seq uint64) {
+	for j.head < len(j.entries) && j.entries[j.head].seq < seq {
+		j.entries[j.head].undo = nil
+		j.head++
+	}
+	if j.head > 4096 && j.head > len(j.entries)/2 {
+		n := copy(j.entries, j.entries[j.head:])
+		j.entries = j.entries[:n]
+		j.head = 0
+	}
+}
+
+// Len returns the number of live entries (tests).
+func (j *Journal) Len() int { return len(j.entries) - j.head }

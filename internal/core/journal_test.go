@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestJournalRewindOrder(t *testing.T) {
+	j := NewJournal()
+	var log []int
+	j.Push(1, func() { log = append(log, 1) })
+	j.Push(2, func() { log = append(log, 2) })
+	j.Push(2, func() { log = append(log, 22) })
+	j.Push(3, func() { log = append(log, 3) })
+	j.RewindTo(2)
+	// Entries with seq >= 2 undone newest-first.
+	if len(log) != 3 || log[0] != 3 || log[1] != 22 || log[2] != 2 {
+		t.Errorf("undo order = %v", log)
+	}
+	if j.Len() != 1 {
+		t.Errorf("live entries = %d, want 1", j.Len())
+	}
+	// Entry for seq 1 untouched.
+	j.RewindTo(0)
+	if len(log) != 4 || log[3] != 1 {
+		t.Errorf("final log = %v", log)
+	}
+}
+
+func TestJournalPrune(t *testing.T) {
+	j := NewJournal()
+	ran := false
+	j.Push(1, func() { ran = true })
+	j.Push(5, func() {})
+	j.Prune(3)
+	if j.Len() != 1 {
+		t.Errorf("live = %d, want 1", j.Len())
+	}
+	// Rewinding cannot reach pruned entries.
+	j.RewindTo(0)
+	if ran {
+		t.Error("pruned undo executed")
+	}
+}
+
+func TestJournalPruneCompaction(t *testing.T) {
+	j := NewJournal()
+	for i := 0; i < 20000; i++ {
+		j.Push(uint64(i), func() {})
+	}
+	j.Prune(15000)
+	if j.Len() != 5000 {
+		t.Errorf("live = %d, want 5000", j.Len())
+	}
+	// Push/rewind still behave after compaction.
+	hit := false
+	j.Push(20000, func() { hit = true })
+	j.RewindTo(20000)
+	if !hit {
+		t.Error("undo after compaction not executed")
+	}
+}
+
+func TestJournalEmptyRewind(t *testing.T) {
+	j := NewJournal()
+	j.RewindTo(0) // must not panic
+	j.Prune(100)
+	if j.Len() != 0 {
+		t.Error("empty journal has entries")
+	}
+}

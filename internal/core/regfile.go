@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+
+	"specvec/internal/stats"
+)
+
+// ElemState carries the per-element flags of Figure 8. The paper's R
+// (Ready) flag is derived: an element is ready when it has been Computed
+// by a functional unit or memory, or when it is Skipped — allocated below
+// the instance's start offset and never to be produced (§3.4).
+type ElemState struct {
+	Computed   bool
+	ComputedAt uint64 // cycle at which the element's data becomes available
+	Skipped    bool
+	V          bool // committed data: the element's validation committed
+	U          bool // a validation is in flight for this element
+	F          bool // architecturally dead: the next write to the logical dest committed
+}
+
+// Ready reports the paper's R flag.
+func (e ElemState) Ready() bool { return e.Computed || e.Skipped }
+
+// LineUse records one wide-bus line access made by a vector load instance
+// and the element indices it supplied (Figure 13 accounting).
+type LineUse struct {
+	Line  uint64
+	Elems []int
+}
+
+// VReg is one vector register with its allocation metadata: the MRBB tag
+// (§3.3) and, for loads, the accessed address range (§3.6).
+type VReg struct {
+	InUse  bool
+	Epoch  uint64 // bumped on every alloc/free; stale references compare epochs
+	PC     uint64
+	MRBB   uint64
+	IsLoad bool
+	Base   uint64 // address of element 0 (loads only)
+	Stride int64  // bytes between elements (loads only)
+	Start  int    // first element actually computed (initial offset, §3.4)
+	Elems  []ElemState
+
+	// pins counts in-flight vector instances reading this register as a
+	// source; a pinned register is never reclaimed (the paper's vector
+	// datapath holds the physical register until the instance drains).
+	pins     int
+	lineUses []LineUse
+}
+
+// ElemAddr returns the predicted address of element i (loads).
+func (r *VReg) ElemAddr(i int) uint64 { return r.Base + uint64(int64(i)*r.Stride) }
+
+// AddrRange returns the inclusive first/last byte addresses of the
+// register's elements (loads; §3.6's two range fields).
+func (r *VReg) AddrRange(wordBytes int) (first, last uint64) {
+	first = r.Base
+	last = r.ElemAddr(len(r.Elems) - 1)
+	if last < first {
+		first, last = last, first
+	}
+	return first, last + uint64(wordBytes) - 1
+}
+
+// RegFile is the vector register file (Table 1: 128 registers of 4
+// elements); unbounded mode grows on demand for the Figure 3 limit study.
+type RegFile struct {
+	regs      []VReg
+	vl        int
+	unbounded bool
+	sim       *stats.Sim
+	inUse     int
+}
+
+// NewRegFile builds a register file of n registers with vl elements each;
+// n <= 0 selects unbounded mode.
+func NewRegFile(n, vl int, sim *stats.Sim) *RegFile {
+	rf := &RegFile{vl: vl, sim: sim}
+	if n <= 0 {
+		rf.unbounded = true
+		return rf
+	}
+	rf.regs = make([]VReg, n)
+	return rf
+}
+
+// VL returns the vector length.
+func (rf *RegFile) VL() int { return rf.vl }
+
+// InUse returns the number of allocated registers.
+func (rf *RegFile) InUse() int { return rf.inUse }
+
+// Cap returns the register count (grown count when unbounded).
+func (rf *RegFile) Cap() int { return len(rf.regs) }
+
+// Reg returns the register by id (read-mostly accessor for the pipeline).
+func (rf *RegFile) Reg(id int) *VReg { return &rf.regs[id] }
+
+// ValidRef reports whether (id, epoch) still names the same allocation.
+func (rf *RegFile) ValidRef(id int, epoch uint64) bool {
+	return id >= 0 && id < len(rf.regs) && rf.regs[id].InUse && rf.regs[id].Epoch == epoch
+}
+
+// Alloc claims a free register for the instruction at pc. start marks the
+// first element that will actually be computed; earlier elements are
+// Skipped (ready but never produced). Returns ok=false when no register is
+// free (the instruction then stays scalar, §3.3). The allocation is
+// journalled: undoing it frees the register and bumps the epoch so any
+// in-flight vector instance's writes are discarded.
+func (rf *RegFile) Alloc(seq, pc, mrbb uint64, isLoad bool, start int, j *Journal) (id int, epoch uint64, ok bool) {
+	id = -1
+	for i := range rf.regs {
+		if !rf.regs[i].InUse {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		if !rf.unbounded {
+			return -1, 0, false
+		}
+		rf.regs = append(rf.regs, VReg{})
+		id = len(rf.regs) - 1
+	}
+	r := &rf.regs[id]
+	r.Epoch++
+	r.InUse = true
+	r.PC = pc
+	r.MRBB = mrbb
+	r.IsLoad = isLoad
+	r.Base, r.Stride = 0, 0
+	r.Start = start
+	r.lineUses = r.lineUses[:0]
+	if cap(r.Elems) < rf.vl {
+		r.Elems = make([]ElemState, rf.vl)
+	} else {
+		r.Elems = r.Elems[:rf.vl]
+		for i := range r.Elems {
+			r.Elems[i] = ElemState{}
+		}
+	}
+	for i := 0; i < start && i < rf.vl; i++ {
+		r.Elems[i].Skipped = true
+		r.Elems[i].F = true
+	}
+	rf.inUse++
+	epoch = r.Epoch
+	j.Push(seq, func() {
+		if r.InUse && r.Epoch == epoch {
+			r.InUse = false
+			r.Epoch++
+			rf.inUse--
+		}
+	})
+	return id, epoch, true
+}
+
+// SetRange records the address window of a vectorized load (§3.6).
+func (rf *RegFile) SetRange(id int, base uint64, stride int64) {
+	rf.regs[id].Base = base
+	rf.regs[id].Stride = stride
+}
+
+// MarkComputed flags element elem as produced with its data available at
+// cycle at; stale (id, epoch) references are ignored (the register was
+// squashed and reallocated).
+func (rf *RegFile) MarkComputed(id int, epoch uint64, elem int, at uint64) {
+	if !rf.ValidRef(id, epoch) {
+		return
+	}
+	e := &rf.regs[id].Elems[elem]
+	e.Computed = true
+	e.ComputedAt = at
+}
+
+// ElemReady reports whether element elem's data is available at cycle.
+func (rf *RegFile) ElemReady(id int, epoch uint64, elem int, cycle uint64) bool {
+	if !rf.ValidRef(id, epoch) {
+		return false
+	}
+	e := rf.regs[id].Elems[elem]
+	return e.Computed && e.ComputedAt <= cycle
+}
+
+// ElemScheduled reports whether element elem has been scheduled for
+// production (its data may still be in flight).
+func (rf *RegFile) ElemScheduled(id int, epoch uint64, elem int) bool {
+	if !rf.ValidRef(id, epoch) {
+		return false
+	}
+	return rf.regs[id].Elems[elem].Computed
+}
+
+// ClearUsed drops the U flag of element elem (a validation abandoned its
+// claim by falling back to scalar execution).
+func (rf *RegFile) ClearUsed(id int, epoch uint64, elem int) {
+	if !rf.ValidRef(id, epoch) {
+		return
+	}
+	rf.regs[id].Elems[elem].U = false
+}
+
+// Pin marks the register as a live source of an in-flight vector instance;
+// pinned registers are exempt from reclamation.
+func (rf *RegFile) Pin(id int, epoch uint64) {
+	if rf.ValidRef(id, epoch) {
+		rf.regs[id].pins++
+	}
+}
+
+// Unpin releases a Pin.
+func (rf *RegFile) Unpin(id int, epoch uint64) {
+	if rf.ValidRef(id, epoch) && rf.regs[id].pins > 0 {
+		rf.regs[id].pins--
+	}
+}
+
+// AddLineUse records a wide-bus line access by a vector load (Figure 13).
+func (rf *RegFile) AddLineUse(id int, epoch uint64, line uint64, elems []int) {
+	if !rf.ValidRef(id, epoch) {
+		return
+	}
+	r := &rf.regs[id]
+	r.lineUses = append(r.lineUses, LineUse{Line: line, Elems: elems})
+}
+
+// SetUsed marks a validation in flight for element elem (journalled; a
+// squash must clear U again).
+func (rf *RegFile) SetUsed(seq uint64, id int, epoch uint64, elem int, j *Journal) {
+	if !rf.ValidRef(id, epoch) {
+		return
+	}
+	e := &rf.regs[id].Elems[elem]
+	old := e.U
+	j.Push(seq, func() { e.U = old })
+	e.U = true
+}
+
+// CommitValidation finalises element elem: V set, U cleared (§3.3).
+// Commit-side effects are never journalled.
+func (rf *RegFile) CommitValidation(id int, epoch uint64, elem int) {
+	if !rf.ValidRef(id, epoch) {
+		return
+	}
+	e := &rf.regs[id].Elems[elem]
+	e.V = true
+	e.U = false
+}
+
+// SetElemFree marks element elem architecturally dead (F flag): the next
+// instruction writing the same logical destination committed.
+func (rf *RegFile) SetElemFree(id int, epoch uint64, elem int) {
+	if !rf.ValidRef(id, epoch) {
+		return
+	}
+	rf.regs[id].Elems[elem].F = true
+}
+
+// freeable implements §3.3's two release conditions.
+func (r *VReg) freeable(gmrbb uint64) bool {
+	if r.pins > 0 {
+		return false
+	}
+	cond1 := true
+	for _, e := range r.Elems {
+		if !e.Ready() || !e.F {
+			cond1 = false
+			break
+		}
+	}
+	if cond1 {
+		return true
+	}
+	if r.MRBB == gmrbb {
+		return false
+	}
+	for _, e := range r.Elems {
+		if !e.Ready() || e.U {
+			return false
+		}
+		if e.V && !e.F {
+			return false
+		}
+	}
+	return true
+}
+
+// Sweep releases every register satisfying a free condition and folds its
+// element outcome into the Figure 15 statistics. It returns the number
+// freed. The VRMT is not consulted: a freed register that is still mapped
+// is detected later through the epoch check.
+func (rf *RegFile) Sweep(gmrbb uint64) int {
+	freed := 0
+	for i := range rf.regs {
+		r := &rf.regs[i]
+		if !r.InUse || !r.freeable(gmrbb) {
+			continue
+		}
+		rf.release(r)
+		freed++
+	}
+	return freed
+}
+
+// Finalize releases every remaining register at end of run so Figure 15
+// accounting covers all allocations.
+func (rf *RegFile) Finalize() {
+	for i := range rf.regs {
+		if rf.regs[i].InUse {
+			rf.release(&rf.regs[i])
+		}
+	}
+}
+
+func (rf *RegFile) release(r *VReg) {
+	for _, e := range r.Elems {
+		switch {
+		case e.V:
+			rf.sim.ElemsComputedUsed++
+		case e.Computed:
+			rf.sim.ElemsComputedUnused++
+		default:
+			rf.sim.ElemsNotComputed++
+		}
+	}
+	// Figure 13: attribute each wide-bus line access of a vectorized load
+	// to the number of its words that were eventually validated.
+	for _, lu := range r.lineUses {
+		used := 0
+		for _, el := range lu.Elems {
+			if r.Elems[el].V {
+				used++
+			}
+		}
+		rf.sim.WideBusWords.Add(used) // bucket 0 = speculative, unused
+	}
+	rf.sim.VRegsFreed++
+	r.InUse = false
+	r.Epoch++
+	r.pins = 0
+	rf.inUse--
+}
+
+// CheckStoreConflict scans allocated load registers for one that the
+// committing store invalidates (§3.6). The [first,last] range fields act
+// as the hardware's fast filter; within a hit, only elements whose data
+// could still be consumed speculatively matter — §3.1 phrases the check
+// per element ("the loaded element has not been invalidated by a
+// succeeding store"), and an element whose validation has already
+// committed (V set) was architecturally read before this store, so
+// overwriting its address is harmless. Without the per-element refinement
+// every read-modify-write loop (a[i] = f(a[i])) would squash once per
+// iteration. Returns the conflicting register id, or -1.
+func (rf *RegFile) CheckStoreConflict(addr uint64, wordBytes int) int {
+	return rf.checkStoreConflict(addr, wordBytes, false)
+}
+
+// CheckStoreConflictRangeOnly applies only the coarse [first,last] filter
+// of §3.6 with no per-element refinement (ablation studies).
+func (rf *RegFile) CheckStoreConflictRangeOnly(addr uint64, wordBytes int) int {
+	return rf.checkStoreConflict(addr, wordBytes, true)
+}
+
+func (rf *RegFile) checkStoreConflict(addr uint64, wordBytes int, rangeOnly bool) int {
+	end := addr + uint64(wordBytes) - 1
+	for i := range rf.regs {
+		r := &rf.regs[i]
+		if !r.InUse || !r.IsLoad {
+			continue
+		}
+		first, last := r.AddrRange(wordBytes)
+		if end < first || addr > last {
+			continue
+		}
+		if rangeOnly {
+			return i
+		}
+		for e := range r.Elems {
+			es := &r.Elems[e]
+			if es.V || es.Skipped {
+				continue
+			}
+			ea := r.ElemAddr(e)
+			if end >= ea && addr <= ea+uint64(wordBytes)-1 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// String summarises occupancy (debugging).
+func (rf *RegFile) String() string {
+	return fmt.Sprintf("regfile{%d/%d in use, vl=%d}", rf.inUse, len(rf.regs), rf.vl)
+}

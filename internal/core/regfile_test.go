@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"specvec/internal/stats"
+)
+
+func newRF(n int) (*RegFile, *stats.Sim) {
+	sim := stats.New()
+	return NewRegFile(n, 4, sim), sim
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	rf, _ := newRF(2)
+	j := NewJournal()
+	_, _, ok := rf.Alloc(0, 100, 0, true, 0, j)
+	if !ok {
+		t.Fatal("first alloc failed")
+	}
+	_, _, ok = rf.Alloc(1, 200, 0, true, 0, j)
+	if !ok {
+		t.Fatal("second alloc failed")
+	}
+	if _, _, ok := rf.Alloc(2, 300, 0, true, 0, j); ok {
+		t.Error("third alloc on 2-register file succeeded")
+	}
+	if rf.InUse() != 2 {
+		t.Errorf("in use = %d", rf.InUse())
+	}
+}
+
+func TestAllocUndoFreesAndBumpsEpoch(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, epoch, _ := rf.Alloc(5, 100, 0, true, 0, j)
+	if !rf.ValidRef(id, epoch) {
+		t.Fatal("fresh ref invalid")
+	}
+	j.RewindTo(5)
+	if rf.ValidRef(id, epoch) {
+		t.Error("ref valid after undo")
+	}
+	if rf.InUse() != 0 {
+		t.Errorf("in use = %d after undo", rf.InUse())
+	}
+	// Writes through the stale ref are discarded.
+	rf.MarkComputed(id, epoch, 0, 0)
+	id2, epoch2, _ := rf.Alloc(6, 100, 0, true, 0, j)
+	if id2 != id {
+		t.Fatalf("expected register reuse, got %d", id2)
+	}
+	if rf.Reg(id2).Elems[0].Computed {
+		t.Error("stale write leaked into new allocation")
+	}
+	_ = epoch2
+}
+
+func TestUnboundedGrows(t *testing.T) {
+	rf, _ := newRF(0)
+	j := NewJournal()
+	for i := 0; i < 500; i++ {
+		if _, _, ok := rf.Alloc(uint64(i), uint64(i), 0, false, 0, j); !ok {
+			t.Fatalf("unbounded alloc %d failed", i)
+		}
+	}
+	if rf.InUse() != 500 {
+		t.Errorf("in use = %d", rf.InUse())
+	}
+}
+
+func TestSkippedElementsAreReadyAndFree(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, _, _ := rf.Alloc(0, 100, 0, false, 2, j)
+	r := rf.Reg(id)
+	for i := 0; i < 2; i++ {
+		if !r.Elems[i].Ready() || !r.Elems[i].F || !r.Elems[i].Skipped {
+			t.Errorf("elem %d below start not skipped/ready/free: %+v", i, r.Elems[i])
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if r.Elems[i].Ready() {
+			t.Errorf("elem %d unexpectedly ready", i)
+		}
+	}
+}
+
+func TestFreeCondition1AllReadyAndFree(t *testing.T) {
+	rf, sim := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 77, true, 0, j)
+	for e := 0; e < 4; e++ {
+		rf.MarkComputed(id, ep, e, 0)
+		rf.CommitValidation(id, ep, e)
+		rf.SetElemFree(id, ep, e)
+	}
+	// MRBB == GMRBB, but condition 1 does not need the loop to end.
+	if n := rf.Sweep(77); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	if sim.ElemsComputedUsed != 4 {
+		t.Errorf("used = %d, want 4", sim.ElemsComputedUsed)
+	}
+	if rf.ValidRef(id, ep) {
+		t.Error("freed register still valid")
+	}
+}
+
+func TestFreeCondition2LoopEnded(t *testing.T) {
+	rf, sim := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 77, true, 0, j)
+	// Two elements validated and dead, two computed but never validated.
+	for e := 0; e < 4; e++ {
+		rf.MarkComputed(id, ep, e, 0)
+	}
+	for e := 0; e < 2; e++ {
+		rf.CommitValidation(id, ep, e)
+		rf.SetElemFree(id, ep, e)
+	}
+	// Same loop still running: not freeable.
+	if n := rf.Sweep(77); n != 0 {
+		t.Fatalf("swept %d while loop running", n)
+	}
+	// Loop terminated (GMRBB changed): freeable.
+	if n := rf.Sweep(88); n != 1 {
+		t.Fatalf("swept %d after loop end, want 1", n)
+	}
+	if sim.ElemsComputedUsed != 2 || sim.ElemsComputedUnused != 2 {
+		t.Errorf("used/unused = %d/%d", sim.ElemsComputedUsed, sim.ElemsComputedUnused)
+	}
+}
+
+func TestFreeBlockedByInFlightValidation(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 77, true, 0, j)
+	for e := 0; e < 4; e++ {
+		rf.MarkComputed(id, ep, e, 0)
+	}
+	rf.SetUsed(1, id, ep, 3, j) // validation in flight
+	if n := rf.Sweep(88); n != 0 {
+		t.Fatal("freed a register with U set")
+	}
+	rf.CommitValidation(id, ep, 3) // commits: V set, U cleared
+	// Now element 3 has V but not F: still blocked by condition 2.
+	if n := rf.Sweep(88); n != 0 {
+		t.Fatal("freed a register with V&&!F element")
+	}
+	rf.SetElemFree(id, ep, 3)
+	if n := rf.Sweep(88); n != 1 {
+		t.Fatal("register not freed once validation dead")
+	}
+}
+
+func TestSetUsedUndo(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 0, true, 0, j)
+	rf.SetUsed(3, id, ep, 1, j)
+	if !rf.Reg(id).Elems[1].U {
+		t.Fatal("U not set")
+	}
+	j.RewindTo(3)
+	if rf.Reg(id).Elems[1].U {
+		t.Error("U survived rewind")
+	}
+}
+
+func TestNotComputedAccounting(t *testing.T) {
+	rf, sim := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 77, false, 2, j)
+	rf.MarkComputed(id, ep, 2, 0) // element 3 never computed
+	rf.Finalize()
+	if sim.ElemsNotComputed != 3 { // 2 skipped + 1 unfinished
+		t.Errorf("not computed = %d, want 3", sim.ElemsNotComputed)
+	}
+	if sim.ElemsComputedUnused != 1 {
+		t.Errorf("unused = %d, want 1", sim.ElemsComputedUnused)
+	}
+	if sim.VRegsFreed != 1 {
+		t.Errorf("freed = %d", sim.VRegsFreed)
+	}
+}
+
+func TestAddrRange(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, _, _ := rf.Alloc(0, 100, 0, true, 0, j)
+	rf.SetRange(id, 0x1000, 16)
+	first, last := rf.Reg(id).AddrRange(8)
+	if first != 0x1000 || last != 0x1000+48+7 {
+		t.Errorf("range = [%#x,%#x]", first, last)
+	}
+	// Negative stride flips the order.
+	rf.SetRange(id, 0x1000, -8)
+	first, last = rf.Reg(id).AddrRange(8)
+	if first != 0x1000-24 || last != 0x1000+7 {
+		t.Errorf("negative-stride range = [%#x,%#x]", first, last)
+	}
+}
+
+func TestCheckStoreConflict(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, _, _ := rf.Alloc(0, 100, 0, true, 0, j)
+	rf.SetRange(id, 0x1000, 8)
+	// Arithmetic registers never conflict.
+	aid, _, _ := rf.Alloc(1, 200, 0, false, 0, j)
+	rf.SetRange(aid, 0x1000, 8)
+	rf.Reg(aid).IsLoad = false
+
+	if got := rf.CheckStoreConflict(0x1008, 8); got != id {
+		t.Errorf("in-range store conflict = %d, want %d", got, id)
+	}
+	if got := rf.CheckStoreConflict(0x0ff8, 8); got != -1 {
+		t.Errorf("store below range = %d", got)
+	}
+	// Store overlapping the first word partially still conflicts.
+	if got := rf.CheckStoreConflict(0x0ffc, 8); got != id {
+		t.Errorf("partially overlapping store = %d, want %d", got, id)
+	}
+	if got := rf.CheckStoreConflict(0x1020, 8); got != -1 {
+		t.Errorf("store above range = %d", got)
+	}
+}
+
+// TestStoreConflictSparesValidatedElements: a read-modify-write loop
+// stores to the element it just validated; that must not invalidate the
+// remaining prefetched elements (§3.1's per-element phrasing).
+func TestStoreConflictSparesValidatedElements(t *testing.T) {
+	rf, _ := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 0, true, 0, j)
+	rf.SetRange(id, 0x1000, 8)
+	rf.CommitValidation(id, ep, 0)
+	if got := rf.CheckStoreConflict(0x1000, 8); got != -1 {
+		t.Errorf("store to validated element conflicted: %d", got)
+	}
+	if got := rf.CheckStoreConflict(0x1008, 8); got != id {
+		t.Errorf("store to unvalidated element = %d, want %d", got, id)
+	}
+	// Skipped elements never conflict either.
+	id2, _, _ := rf.Alloc(1, 200, 0, true, 2, j)
+	rf.SetRange(id2, 0x2000, 8)
+	if got := rf.CheckStoreConflict(0x2000, 8); got != -1 {
+		t.Errorf("store to skipped element conflicted: %d", got)
+	}
+	if got := rf.CheckStoreConflict(0x2010, 8); got != id2 {
+		t.Errorf("store to live element = %d, want %d", got, id2)
+	}
+}
+
+func TestLineUseAccounting(t *testing.T) {
+	rf, sim := newRF(4)
+	j := NewJournal()
+	id, ep, _ := rf.Alloc(0, 100, 77, true, 0, j)
+	rf.SetRange(id, 0x1000, 8)
+	// One line supplied elements 0-3; elements 0,1 validated.
+	rf.AddLineUse(id, ep, 0x1000, []int{0, 1, 2, 3})
+	for e := 0; e < 4; e++ {
+		rf.MarkComputed(id, ep, e, 0)
+	}
+	rf.CommitValidation(id, ep, 0)
+	rf.CommitValidation(id, ep, 1)
+	rf.Finalize()
+	if sim.WideBusWords.Count(2) != 1 {
+		t.Errorf("wide-bus histogram: %+v", sim.WideBusWords)
+	}
+	// A line never validated counts as unused (bucket 0).
+	id2, ep2, _ := rf.Alloc(1, 200, 77, true, 0, j)
+	rf.AddLineUse(id2, ep2, 0x2000, []int{0, 1})
+	rf.Finalize()
+	if sim.WideBusWords.Count(0) != 1 {
+		t.Errorf("unused bucket = %d, want 1", sim.WideBusWords.Count(0))
+	}
+}
+
+// TestAllocFreeInvariant hammers the register file with random alloc,
+// flag-set and sweep operations, checking occupancy invariants throughout.
+func TestAllocFreeInvariant(t *testing.T) {
+	rf, _ := newRF(16)
+	j := NewJournal()
+	rng := rand.New(rand.NewSource(7))
+	live := map[int]uint64{}
+	seq := uint64(0)
+	for step := 0; step < 5000; step++ {
+		seq++
+		switch rng.Intn(4) {
+		case 0:
+			if id, ep, ok := rf.Alloc(seq, uint64(rng.Intn(50)), uint64(rng.Intn(3)), rng.Intn(2) == 0, rng.Intn(4), j); ok {
+				live[id] = ep
+			}
+		case 1:
+			for id, ep := range live {
+				e := rng.Intn(4)
+				rf.MarkComputed(id, ep, e, 0)
+				if rng.Intn(2) == 0 {
+					rf.CommitValidation(id, ep, e)
+					rf.SetElemFree(id, ep, e)
+				}
+				break
+			}
+		case 2:
+			rf.Sweep(uint64(rng.Intn(3)))
+			for id, ep := range live {
+				if !rf.ValidRef(id, ep) {
+					delete(live, id)
+				}
+			}
+		case 3:
+			// Occupancy invariant.
+			n := 0
+			for i := 0; i < rf.Cap(); i++ {
+				if rf.Reg(i).InUse {
+					n++
+				}
+			}
+			if n != rf.InUse() {
+				t.Fatalf("step %d: counted %d in use, tracked %d", step, n, rf.InUse())
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+// Storage reproduces the §4.1 hardware-cost audit of the added structures.
+type Storage struct {
+	VRFBytes  int // vector register file
+	VRMTBytes int
+	TLBytes   int
+}
+
+// Per-entry byte costs from §4.1: a VRMT entry is 18 bytes, a TL entry 24.
+const (
+	VRMTEntryBytes = 18
+	TLEntryBytes   = 24
+	elemBytes      = 8
+)
+
+// StorageBytes computes the extra state for a configuration. With the
+// Table 1 parameters (128×4 registers, 4×64 VRMT, 4×512 TL) it reproduces
+// the paper's arithmetic: 4 KB + 4608 B + 49152 B ≈ 56 KB.
+func StorageBytes(vregs, vlen, vrmtSets, vrmtWays, tlSets, tlWays int) Storage {
+	return Storage{
+		VRFBytes:  vregs * vlen * elemBytes,
+		VRMTBytes: vrmtWays * vrmtSets * VRMTEntryBytes,
+		TLBytes:   tlWays * tlSets * TLEntryBytes,
+	}
+}
+
+// Total returns the summed extra storage in bytes.
+func (s Storage) Total() int { return s.VRFBytes + s.VRMTBytes + s.TLBytes }

@@ -1,0 +1,129 @@
+package core
+
+// TLEntry is one Table of Loads record (Figure 4): the load's PC, its last
+// effective address, the current stride and a confidence counter.
+type TLEntry struct {
+	pc       uint64
+	valid    bool
+	LastAddr uint64
+	Stride   int64
+	Conf     int
+	lru      uint64
+}
+
+// Observation is the result of recording one dynamic load in the TL.
+type Observation struct {
+	Stride    int64 // stride after the update (bytes)
+	Confident bool  // confidence reached the vectorization threshold
+	FirstSeen bool  // the PC was just inserted
+}
+
+// TL is the Table of Loads: 4-way set-associative, 512 sets in Table 1,
+// or unbounded for the Figure 3 limit study.
+type TL struct {
+	sets      [][]TLEntry
+	ways      int
+	threshold int
+	stamp     uint64
+	unbounded map[uint64]*TLEntry
+}
+
+// NewTL builds a table with the given geometry; sets <= 0 selects the
+// unbounded variant.
+func NewTL(sets, ways, threshold int) *TL {
+	t := &TL{ways: ways, threshold: threshold}
+	if sets <= 0 {
+		t.unbounded = make(map[uint64]*TLEntry)
+		return t
+	}
+	t.sets = make([][]TLEntry, sets)
+	for i := range t.sets {
+		t.sets[i] = make([]TLEntry, ways)
+	}
+	return t
+}
+
+// Observe records the dynamic instance (seq) of the load at pc accessing
+// addr, per §3.2: first sight initialises the entry; later sights compute
+// the new stride, bump confidence on a match or reset it (and adopt the
+// new stride) on a mismatch; the last address always updates. All
+// mutations are journalled for squash replay.
+func (t *TL) Observe(seq, pc, addr uint64, j *Journal) Observation {
+	e, evict := t.locate(pc)
+	if e == nil || !e.valid || e.pc != pc {
+		// Miss: insert, possibly evicting another load's history.
+		var slot *TLEntry
+		if t.unbounded != nil {
+			slot = &TLEntry{}
+			t.unbounded[pc] = slot
+		} else {
+			slot = evict
+			old := *slot
+			j.Push(seq, func() { *slot = old })
+		}
+		t.stamp++
+		*slot = TLEntry{pc: pc, valid: true, LastAddr: addr, lru: t.stamp}
+		if t.unbounded != nil {
+			j.Push(seq, func() { delete(t.unbounded, pc) })
+		}
+		return Observation{FirstSeen: true}
+	}
+
+	old := *e
+	j.Push(seq, func() { *e = old })
+
+	newStride := int64(addr - e.LastAddr)
+	if newStride == e.Stride {
+		e.Conf++
+	} else {
+		e.Conf = 0
+		e.Stride = newStride
+	}
+	e.LastAddr = addr
+	t.stamp++
+	e.lru = t.stamp
+	return Observation{Stride: e.Stride, Confident: e.Conf >= t.threshold}
+}
+
+// ResetConfidence clears the confidence counter for pc after a
+// vectorization misspeculation, so scalar mode persists "until the
+// vectorizing engine detects again a new vectorizable pattern" (§3.1).
+func (t *TL) ResetConfidence(seq, pc uint64, j *Journal) {
+	e, _ := t.locate(pc)
+	if e == nil || !e.valid || e.pc != pc {
+		return
+	}
+	old := e.Conf
+	j.Push(seq, func() { e.Conf = old })
+	e.Conf = 0
+}
+
+// Lookup returns the entry for pc without modifying it.
+func (t *TL) Lookup(pc uint64) (TLEntry, bool) {
+	e, _ := t.locate(pc)
+	if e == nil || !e.valid || e.pc != pc {
+		return TLEntry{}, false
+	}
+	return *e, true
+}
+
+// locate returns the matching entry if present; otherwise (nil-or-miss,
+// eviction victim).
+func (t *TL) locate(pc uint64) (match, victim *TLEntry) {
+	if t.unbounded != nil {
+		return t.unbounded[pc], nil
+	}
+	set := t.sets[pc%uint64(len(t.sets))]
+	victim = &set[0]
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			return &set[i], nil
+		}
+		if !set[i].valid {
+			victim = &set[i]
+		} else if victim.valid && set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return nil, victim
+}

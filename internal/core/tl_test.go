@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLStrideZeroFiresOnThird(t *testing.T) {
+	tl := NewTL(512, 4, 2)
+	j := NewJournal()
+	obs := tl.Observe(0, 100, 0x1000, j)
+	if !obs.FirstSeen || obs.Confident {
+		t.Errorf("first: %+v", obs)
+	}
+	obs = tl.Observe(1, 100, 0x1000, j)
+	if obs.Confident || obs.Stride != 0 {
+		t.Errorf("second: %+v", obs)
+	}
+	obs = tl.Observe(2, 100, 0x1000, j)
+	if !obs.Confident || obs.Stride != 0 {
+		t.Errorf("third (stride 0) should be confident: %+v", obs)
+	}
+}
+
+func TestTLNonZeroStrideFiresOnFourth(t *testing.T) {
+	tl := NewTL(512, 4, 2)
+	j := NewJournal()
+	// Stride 8: insert, learn stride, conf 1, conf 2.
+	for i, want := range []bool{false, false, false, true} {
+		obs := tl.Observe(uint64(i), 100, 0x1000+uint64(i)*8, j)
+		if obs.Confident != want {
+			t.Errorf("instance %d confident = %v, want %v", i, obs.Confident, want)
+		}
+	}
+	e, ok := tl.Lookup(100)
+	if !ok || e.Stride != 8 || e.Conf != 2 {
+		t.Errorf("entry = %+v, %v", e, ok)
+	}
+}
+
+func TestTLStrideChangeResets(t *testing.T) {
+	tl := NewTL(512, 4, 2)
+	j := NewJournal()
+	for i := 0; i < 4; i++ {
+		tl.Observe(uint64(i), 100, 0x1000+uint64(i)*8, j)
+	}
+	// Break the pattern.
+	obs := tl.Observe(4, 100, 0x9000, j)
+	if obs.Confident {
+		t.Error("confidence survived stride change")
+	}
+	e, _ := tl.Lookup(100)
+	if e.Conf != 0 {
+		t.Errorf("conf = %d, want 0", e.Conf)
+	}
+	// The new stride must be adopted so it can re-learn.
+	obs = tl.Observe(5, 100, 0x9000+16, j)
+	if e, _ := tl.Lookup(100); e.Stride != 16 {
+		t.Errorf("stride = %d, want 16", e.Stride)
+	}
+	_ = obs
+}
+
+func TestTLNegativeStride(t *testing.T) {
+	tl := NewTL(512, 4, 2)
+	j := NewJournal()
+	base := uint64(0x8000)
+	var obs Observation
+	for i := 0; i < 4; i++ {
+		obs = tl.Observe(uint64(i), 7, base-uint64(i)*8, j)
+	}
+	if !obs.Confident || obs.Stride != -8 {
+		t.Errorf("negative stride: %+v", obs)
+	}
+}
+
+func TestTLResetConfidence(t *testing.T) {
+	tl := NewTL(512, 4, 2)
+	j := NewJournal()
+	for i := 0; i < 3; i++ {
+		tl.Observe(uint64(i), 100, 0x1000, j)
+	}
+	tl.ResetConfidence(3, 100, j)
+	e, _ := tl.Lookup(100)
+	if e.Conf != 0 {
+		t.Errorf("conf = %d after reset", e.Conf)
+	}
+	// Undo restores it.
+	j.RewindTo(3)
+	e, _ = tl.Lookup(100)
+	if e.Conf != 2 {
+		t.Errorf("conf = %d after rewind, want 2", e.Conf)
+	}
+}
+
+func TestTLEviction(t *testing.T) {
+	tl := NewTL(2, 2, 2) // 2 sets x 2 ways
+	j := NewJournal()
+	// Fill set 0 (even PCs) with 2 entries, then insert a third.
+	tl.Observe(0, 0, 0x100, j)
+	tl.Observe(1, 2, 0x200, j)
+	tl.Observe(2, 0, 0x108, j) // touch pc 0 so pc 2 is LRU
+	tl.Observe(3, 4, 0x300, j) // evicts pc 2
+	if _, ok := tl.Lookup(2); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := tl.Lookup(0); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := tl.Lookup(4); !ok {
+		t.Error("new entry missing")
+	}
+}
+
+func TestTLUnbounded(t *testing.T) {
+	tl := NewTL(0, 0, 2)
+	j := NewJournal()
+	// Thousands of distinct PCs, none evicted.
+	for pc := uint64(0); pc < 5000; pc++ {
+		tl.Observe(pc, pc, 0x1000*pc, j)
+	}
+	for pc := uint64(0); pc < 5000; pc++ {
+		if _, ok := tl.Lookup(pc); !ok {
+			t.Fatalf("pc %d evicted from unbounded TL", pc)
+		}
+	}
+}
+
+func TestTLJournalRewind(t *testing.T) {
+	tl := NewTL(512, 4, 2)
+	j := NewJournal()
+	for i := 0; i < 3; i++ {
+		tl.Observe(uint64(i), 100, 0x1000+uint64(i)*8, j)
+	}
+	snapshot, _ := tl.Lookup(100)
+	// Two more observations, then rewind them.
+	tl.Observe(3, 100, 0x1018, j)
+	tl.Observe(4, 100, 0x1020, j)
+	j.RewindTo(3)
+	got, _ := tl.Lookup(100)
+	if got.Conf != snapshot.Conf || got.LastAddr != snapshot.LastAddr || got.Stride != snapshot.Stride {
+		t.Errorf("rewound entry %+v != snapshot %+v", got, snapshot)
+	}
+	// Replaying produces the same states.
+	obs := tl.Observe(3, 100, 0x1018, j)
+	if obs.Stride != 8 {
+		t.Errorf("replay stride = %d", obs.Stride)
+	}
+}
+
+// TestTLMatchesReferenceModel drives random (pc, addr) sequences through
+// the unbounded TL and a direct reference implementation of §3.2.
+func TestTLMatchesReferenceModel(t *testing.T) {
+	type ref struct {
+		last   uint64
+		stride int64
+		conf   int
+		seen   bool
+	}
+	f := func(pcs []uint8, deltas []int8) bool {
+		tl := NewTL(0, 0, 2)
+		j := NewJournal()
+		model := map[uint64]*ref{}
+		addr := map[uint64]uint64{}
+		n := len(pcs)
+		if len(deltas) < n {
+			n = len(deltas)
+		}
+		for i := 0; i < n; i++ {
+			pc := uint64(pcs[i] % 8)
+			addr[pc] += uint64(int64(deltas[i]))
+			obs := tl.Observe(uint64(i), pc, addr[pc], j)
+
+			m := model[pc]
+			if m == nil {
+				m = &ref{last: addr[pc], seen: true}
+				model[pc] = m
+				if !obs.FirstSeen {
+					return false
+				}
+				continue
+			}
+			ns := int64(addr[pc] - m.last)
+			if ns == m.stride {
+				m.conf++
+			} else {
+				m.conf = 0
+				m.stride = ns
+			}
+			m.last = addr[pc]
+			if obs.Confident != (m.conf >= 2) || obs.Stride != m.stride {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+// OperandKind classifies a source operand recorded in a VRMT entry.
+type OperandKind uint8
+
+const (
+	// OperandNone marks an unused source slot.
+	OperandNone OperandKind = iota
+	// OperandVector names a vector register.
+	OperandVector
+	// OperandScalar records the value of a scalar register source; later
+	// instances compare the current value against it (§3.2).
+	OperandScalar
+	// OperandImm marks an immediate source, which is part of the static
+	// instruction and therefore always matches.
+	OperandImm
+)
+
+// Operand is one recorded source of a vectorized instruction.
+type Operand struct {
+	Kind  OperandKind
+	VReg  int    // OperandVector: the source vector register
+	Value uint64 // OperandScalar/OperandImm: the value at vectorization time
+}
+
+// Matches reports whether a later dynamic instance's operand is compatible
+// with the recorded one.
+func (o Operand) Matches(cur Operand) bool {
+	if o.Kind != cur.Kind {
+		return false
+	}
+	switch o.Kind {
+	case OperandVector:
+		return o.VReg == cur.VReg
+	case OperandScalar, OperandImm:
+		return o.Value == cur.Value
+	default:
+		return true
+	}
+}
+
+// Entry is one VRMT record (Figure 5): the vectorized instruction's PC,
+// its destination vector register, the offset of the next element to be
+// validated, and the recorded source operands.
+type Entry struct {
+	PC     uint64
+	VReg   int
+	VEpoch uint64 // allocation epoch of VReg; stale mappings are detected by comparing with the register file
+	Offset int
+	Src1   Operand
+	Src2   Operand
+
+	valid bool
+	lru   uint64
+}
+
+// VRMT is the Vector Register Map Table: 4-way set-associative, 64 sets in
+// Table 1, or unbounded for the Figure 3 limit study.
+type VRMT struct {
+	sets      [][]Entry
+	ways      int
+	stamp     uint64
+	unbounded map[uint64]*Entry
+}
+
+// NewVRMT builds the table; sets <= 0 selects the unbounded variant.
+func NewVRMT(sets, ways int) *VRMT {
+	v := &VRMT{ways: ways}
+	if sets <= 0 {
+		v.unbounded = make(map[uint64]*Entry)
+		return v
+	}
+	v.sets = make([][]Entry, sets)
+	for i := range v.sets {
+		v.sets[i] = make([]Entry, ways)
+	}
+	return v
+}
+
+// Lookup returns a copy of the entry for pc.
+func (v *VRMT) Lookup(pc uint64) (Entry, bool) {
+	e := v.find(pc)
+	if e == nil {
+		return Entry{}, false
+	}
+	v.stamp++
+	e.lru = v.stamp
+	return *e, true
+}
+
+// Insert installs a new entry for e.PC, evicting an LRU victim if the set
+// is full. It returns the evicted entry (valid=true in the returned copy)
+// so the caller can account for the orphaned vector register. The
+// insertion is journalled.
+func (v *VRMT) Insert(seq uint64, e Entry, j *Journal) (evicted Entry, hadEvict bool) {
+	e.valid = true
+	v.stamp++
+	e.lru = v.stamp
+
+	if v.unbounded != nil {
+		pc := e.PC
+		if prev := v.unbounded[pc]; prev != nil {
+			old := *prev
+			j.Push(seq, func() { *prev = old })
+			*prev = e
+			return Entry{}, false
+		}
+		slot := new(Entry)
+		*slot = e
+		v.unbounded[pc] = slot
+		j.Push(seq, func() { delete(v.unbounded, pc) })
+		return Entry{}, false
+	}
+
+	set := v.sets[e.PC%uint64(len(v.sets))]
+	victim := &set[0]
+	for i := range set {
+		if set[i].valid && set[i].PC == e.PC {
+			victim = &set[i]
+			break
+		}
+		if !set[i].valid {
+			victim = &set[i]
+		} else if victim.valid && set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	old := *victim
+	j.Push(seq, func() { *victim = old })
+	if old.valid && old.PC != e.PC {
+		evicted, hadEvict = old, true
+	}
+	*victim = e
+	return evicted, hadEvict
+}
+
+// Advance increments the offset of pc's entry (one more element has a
+// validation in flight), journalled.
+func (v *VRMT) Advance(seq, pc uint64, j *Journal) {
+	e := v.find(pc)
+	if e == nil {
+		return
+	}
+	old := e.Offset
+	j.Push(seq, func() { e.Offset = old })
+	e.Offset++
+}
+
+// Invalidate removes pc's entry (validation failure or store conflict),
+// journalled.
+func (v *VRMT) Invalidate(seq, pc uint64, j *Journal) {
+	if v.unbounded != nil {
+		if prev := v.unbounded[pc]; prev != nil {
+			j.Push(seq, func() { v.unbounded[pc] = prev })
+			delete(v.unbounded, pc)
+		}
+		return
+	}
+	e := v.find(pc)
+	if e == nil {
+		return
+	}
+	old := *e
+	j.Push(seq, func() { *e = old })
+	*e = Entry{}
+}
+
+// InvalidateByVReg removes the entry whose destination is vreg (store
+// coherence, §3.6). Returns the PC of the invalidated entry.
+func (v *VRMT) InvalidateByVReg(seq uint64, vreg int, j *Journal) (pc uint64, found bool) {
+	visit := func(e *Entry) bool {
+		if e.valid && e.VReg == vreg {
+			old := *e
+			j.Push(seq, func() { *e = old })
+			pcOut := e.PC
+			*e = Entry{}
+			pc, found = pcOut, true
+			return true
+		}
+		return false
+	}
+	if v.unbounded != nil {
+		for key, e := range v.unbounded {
+			if e.VReg == vreg {
+				prev := e
+				k := key
+				j.Push(seq, func() { v.unbounded[k] = prev })
+				delete(v.unbounded, k)
+				return prev.PC, true
+			}
+		}
+		return 0, false
+	}
+	for s := range v.sets {
+		for w := range v.sets[s] {
+			if visit(&v.sets[s][w]) {
+				return pc, found
+			}
+		}
+	}
+	return 0, false
+}
+
+func (v *VRMT) find(pc uint64) *Entry {
+	if v.unbounded != nil {
+		return v.unbounded[pc]
+	}
+	set := v.sets[pc%uint64(len(v.sets))]
+	for i := range set {
+		if set[i].valid && set[i].PC == pc {
+			return &set[i]
+		}
+	}
+	return nil
+}

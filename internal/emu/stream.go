@@ -1,0 +1,85 @@
+package emu
+
+import "fmt"
+
+// Stream adapts a Machine into the replayable dynamic-instruction source
+// the timing pipeline consumes. The pipeline fetches in commit order; on a
+// squash (store/vector-register conflict, §3.6 of the paper) it rewinds to
+// an earlier sequence number and replays. A bounded window of recent
+// records is retained for that purpose — it must exceed the maximum number
+// of in-flight instructions (ROB + fetch buffer), and 8192 is far above any
+// configuration in Table 1.
+type Stream struct {
+	m      *Machine
+	window []DynInst // ring buffer indexed by Seq % len
+	filled uint64    // total records ever produced
+	pos    uint64    // next Seq to hand out
+	done   bool      // machine halted; no records beyond the last
+	last   uint64    // Seq of the halt record once done
+}
+
+// DefaultWindow is the default replay window size.
+const DefaultWindow = 8192
+
+// NewStream wraps m with a replay window of n records (DefaultWindow if
+// n <= 0).
+func NewStream(m *Machine, n int) *Stream {
+	if n <= 0 {
+		n = DefaultWindow
+	}
+	return &Stream{m: m, window: make([]DynInst, n)}
+}
+
+// Next returns the dynamic instruction with the current position's sequence
+// number, producing it from the machine if it has not been generated yet.
+// ok is false once the stream is positioned past the halt instruction.
+func (s *Stream) Next() (DynInst, bool) {
+	if s.done && s.pos > s.last {
+		return DynInst{}, false
+	}
+	for s.pos >= s.filled {
+		d := s.m.Step()
+		s.window[d.Seq%uint64(len(s.window))] = d
+		s.filled++
+		if d.Halt {
+			s.done = true
+			s.last = d.Seq
+			break
+		}
+	}
+	if s.pos >= s.filled { // halted before reaching pos
+		return DynInst{}, false
+	}
+	d := s.window[s.pos%uint64(len(s.window))]
+	s.pos++
+	return d, true
+}
+
+// Pos returns the sequence number of the next record Next will return.
+func (s *Stream) Pos() uint64 { return s.pos }
+
+// Rewind repositions the stream so that Next returns the record with
+// sequence number seq again. It panics if seq has fallen out of the replay
+// window — that would be a pipeline bug (squashing something older than the
+// machine's in-flight capacity).
+func (s *Stream) Rewind(seq uint64) {
+	if seq > s.pos {
+		panic(fmt.Sprintf("emu: rewind forward from %d to %d", s.pos, seq))
+	}
+	if s.filled > uint64(len(s.window)) && seq < s.filled-uint64(len(s.window)) {
+		panic(fmt.Sprintf("emu: rewind to %d outside window (oldest %d)",
+			seq, s.filled-uint64(len(s.window))))
+	}
+	s.pos = seq
+}
+
+// Peek returns a previously produced record without repositioning.
+func (s *Stream) Peek(seq uint64) (DynInst, bool) {
+	if seq >= s.filled {
+		return DynInst{}, false
+	}
+	if s.filled > uint64(len(s.window)) && seq < s.filled-uint64(len(s.window)) {
+		return DynInst{}, false
+	}
+	return s.window[seq%uint64(len(s.window))], true
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+func TestVecLenStatistic(t *testing.T) {
+	r := testRunner()
+	tabs, err := VecLen(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	intLen, ok := tab.CellByColumn("INT", "mean-len")
+	if !ok {
+		t.Fatal("missing INT aggregate")
+	}
+	fpLen, _ := tab.CellByColumn("FP", "mean-len")
+	// The statistic motivates VL=4: run lengths must be meaningfully
+	// larger than the vector length but not astronomical.
+	if intLen < 3 || fpLen < 3 {
+		t.Errorf("run lengths implausibly small: INT %.1f FP %.1f", intLen, fpLen)
+	}
+	for _, row := range tab.Rows {
+		if row.Cells[0] < 2 && row.Name != "INT" && row.Name != "FP" && row.Name != "Spec95" {
+			t.Errorf("%s: mean run length %.2f below the run threshold", row.Name, row.Cells[0])
+		}
+	}
+}
+
+func TestAblationVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in -short mode")
+	}
+	r := testRunner()
+	tabs, err := Ablation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 10 {
+		t.Fatalf("variants = %d, want 10", len(tab.Rows))
+	}
+	cell := func(row string, col string) float64 {
+		v, ok := tab.CellByColumn(row, col)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", row, col)
+		}
+		return v
+	}
+	// The coarse range check must squash far more often than the
+	// per-element check.
+	if cell("range-only conflicts", "cfl/1k") <= cell("baseline (V)", "cfl/1k") {
+		t.Error("range-only conflict check did not increase conflicts")
+	}
+	// Reverting both refinements must not be faster than the baseline.
+	if cell("both reverted", "IPC") > cell("baseline (V)", "IPC")*1.02 {
+		t.Errorf("reverted refinements outperform baseline: %.3f vs %.3f",
+			cell("both reverted", "IPC"), cell("baseline (V)", "IPC"))
+	}
+	// A 32-register file vectorizes no more than a 256-register file.
+	if cell("32 vregs", "valid%") > cell("256 vregs", "valid%")+1e-9 {
+		t.Errorf("fewer registers produced more validations: %.1f vs %.1f",
+			cell("32 vregs", "valid%"), cell("256 vregs", "valid%"))
+	}
+	// Both confidence thresholds must vectorize; note that firing on the
+	// first repeat (confidence=1) can vectorize *less* overall — premature
+	// instances misspeculate and reset the TL — which is itself a result
+	// supporting the paper's choice of 2.
+	if cell("confidence=1", "valid%") <= 0 || cell("confidence=3", "valid%") <= 0 {
+		t.Error("confidence-threshold variants stopped vectorizing")
+	}
+}

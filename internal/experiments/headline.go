@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"specvec/internal/config"
+	"specvec/internal/stats"
+	"specvec/internal/workload"
+)
+
+// Headline computes the numbers quoted in the paper's abstract,
+// introduction and conclusions:
+//
+//   - a 4-way processor with one wide bus and dynamic vectorization is
+//     ~19% faster than the same processor with 4 scalar buses;
+//   - it is ~3% faster than an 8-way processor with 4 scalar ports;
+//   - dynamic vectorization raises 4-way/1-wide-bus IPC by 21.2% (INT)
+//     and 8.1% (FP);
+//   - memory requests drop ~15% (INT) and ~20% (FP);
+//   - 28% (INT) / 23% (FP) of instructions become validations;
+//   - stores hitting vector ranges: 4.5% INT / 2.5% FP.
+func Headline(r *Runner) ([]*Table, error) {
+	type agg struct{ ipc, memPerInst, valid, conflictRate float64 }
+	collect := func(cfg config.Config, names []string) (agg, error) {
+		var a agg
+		for _, n := range names {
+			st, err := r.Run(cfg, n)
+			if err != nil {
+				return a, err
+			}
+			a.ipc += st.IPC()
+			a.memPerInst += st.MemRequestsPerInst()
+			a.valid += st.ValidationFraction()
+			a.conflictRate += stats.Ratio(st.StoreConflicts, st.CommittedStores)
+		}
+		n := float64(len(names))
+		a.ipc /= n
+		a.memPerInst /= n
+		a.valid /= n
+		a.conflictRate /= n
+		return a, nil
+	}
+
+	cfg4w1pV := config.MustNamed(4, 1, config.ModeV)
+	cfg4w1pIM := config.MustNamed(4, 1, config.ModeIM)
+	cfg4w4pNo := config.MustNamed(4, 4, config.ModeNoIM)
+	cfg8w4pNo := config.MustNamed(8, 4, config.ModeNoIM)
+
+	all := workload.Names()
+	ints, fps := workload.IntNames(), workload.FPNames()
+
+	v, err := collect(cfg4w1pV, all)
+	if err != nil {
+		return nil, err
+	}
+	im, err := collect(cfg4w1pIM, all)
+	if err != nil {
+		return nil, err
+	}
+	no4, err := collect(cfg4w4pNo, all)
+	if err != nil {
+		return nil, err
+	}
+	no8, err := collect(cfg8w4pNo, all)
+	if err != nil {
+		return nil, err
+	}
+	vInt, err := collect(cfg4w1pV, ints)
+	if err != nil {
+		return nil, err
+	}
+	vFP, err := collect(cfg4w1pV, fps)
+	if err != nil {
+		return nil, err
+	}
+	imInt, err := collect(cfg4w1pIM, ints)
+	if err != nil {
+		return nil, err
+	}
+	imFP, err := collect(cfg4w1pIM, fps)
+	if err != nil {
+		return nil, err
+	}
+
+	pct := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * (a - b) / b
+	}
+
+	rows := []Row{
+		{Name: "speedup 4w1pV vs 4w4pnoIM %", Cells: []float64{pct(v.ipc, no4.ipc)}},
+		{Name: "speedup 4w1pV vs 8w4pnoIM %", Cells: []float64{pct(v.ipc, no8.ipc)}},
+		{Name: "IPC gain V vs IM (INT) %", Cells: []float64{pct(vInt.ipc, imInt.ipc)}},
+		{Name: "IPC gain V vs IM (FP) %", Cells: []float64{pct(vFP.ipc, imFP.ipc)}},
+		{Name: "mem request change (INT) %", Cells: []float64{pct(vInt.memPerInst, imInt.memPerInst)}},
+		{Name: "mem request change (FP) %", Cells: []float64{pct(vFP.memPerInst, imFP.memPerInst)}},
+		{Name: "validations (INT) %", Cells: []float64{100 * vInt.valid}},
+		{Name: "validations (FP) %", Cells: []float64{100 * vFP.valid}},
+		{Name: "store conflicts/store (INT) %", Cells: []float64{100 * vInt.conflictRate}},
+		{Name: "store conflicts/store (FP) %", Cells: []float64{100 * vFP.conflictRate}},
+		{Name: "IPC 4w1pV", Cells: []float64{v.ipc}},
+		{Name: "IPC 4w1pIM", Cells: []float64{im.ipc}},
+		{Name: "IPC 4w4pnoIM", Cells: []float64{no4.ipc}},
+		{Name: "IPC 8w4pnoIM", Cells: []float64{no8.ipc}},
+	}
+	return []*Table{{
+		ID:      "headline",
+		Title:   "Headline comparisons (paper: +19% vs 4 scalar buses; +3% vs 8-way 4p; +21.2%/+8.1% over IM; -15%/-20% memory requests; 28%/23% validations; 4.5%/2.5% conflicting stores)",
+		Columns: []string{"value"},
+		Rows:    rows,
+		Format:  "%9.2f",
+	}}, nil
+}

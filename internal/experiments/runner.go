@@ -1,0 +1,125 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§4) plus the headline numbers quoted in the abstract and
+// conclusions. Each experiment returns a Table whose rows are benchmarks
+// (with INT / FP / Spec95 aggregate rows) so the output can be compared
+// against the published charts shape-for-shape.
+package experiments
+
+import (
+	"fmt"
+
+	"specvec/internal/config"
+	"specvec/internal/pipeline"
+	"specvec/internal/stats"
+	"specvec/internal/workload"
+)
+
+// Options control the scale of all experiment runs.
+type Options struct {
+	// Scale is the approximate dynamic instruction count per run. The
+	// paper simulates 100M instructions per benchmark; the default here is
+	// laptop-sized and can be raised with -scale.
+	Scale int
+	// Seed perturbs the generated workload data.
+	Seed int64
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options { return Options{Scale: 300_000, Seed: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = DefaultOptions().Scale
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Runner executes (configuration, benchmark) pairs with memoisation, so
+// experiments that share runs (e.g. Figures 11 and 12) pay once.
+type Runner struct {
+	opts  Options
+	cache map[string]*stats.Sim
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.withDefaults(), cache: map[string]*stats.Sim{}}
+}
+
+// Opts returns the runner's options.
+func (r *Runner) Opts() Options { return r.opts }
+
+// Run simulates benchmark bench under cfg and returns its statistics.
+// Results are memoised on (config name, variant flags, benchmark).
+func (r *Runner) Run(cfg config.Config, bench string) (*stats.Sim, error) {
+	key := fmt.Sprintf("%s|u=%v|b=%v|cd=%v|ro=%v|vl=%d|vr=%d|ct=%d|%s|%d|%d",
+		cfg.Name, cfg.Unbounded, cfg.BlockScalarOperand, cfg.ChurnDamper,
+		cfg.RangeOnlyConflicts, cfg.VectorLen, cfg.VectorRegs, cfg.ConfThreshold,
+		bench, r.opts.Scale, r.opts.Seed)
+	if st, ok := r.cache[key]; ok {
+		return st, nil
+	}
+	b, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	prog := b.Build(r.opts.Scale, r.opts.Seed)
+	sim, err := pipeline.New(cfg, prog)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
+	}
+	st, err := sim.Run(uint64(r.opts.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
+	}
+	r.cache[key] = st
+	return st, nil
+}
+
+// perBenchmark runs every benchmark under cfg and invokes get to extract
+// one row of values; INT, FP and Spec95 aggregate rows (arithmetic means,
+// matching the paper's bar charts) are appended.
+func (r *Runner) perBenchmark(cfg config.Config, get func(*stats.Sim) []float64) ([]Row, error) {
+	var rows []Row
+	var intAgg, fpAgg, allAgg [][]float64
+	for _, name := range workload.Names() {
+		st, err := r.Run(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		vals := get(st)
+		rows = append(rows, Row{Name: name, Cells: vals})
+		b, _ := workload.Get(name)
+		if b.FP {
+			fpAgg = append(fpAgg, vals)
+		} else {
+			intAgg = append(intAgg, vals)
+		}
+		allAgg = append(allAgg, vals)
+	}
+	rows = append(rows,
+		Row{Name: "INT", Cells: meanRows(intAgg)},
+		Row{Name: "FP", Cells: meanRows(fpAgg)},
+		Row{Name: "Spec95", Cells: meanRows(allAgg)},
+	)
+	return rows, nil
+}
+
+func meanRows(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		for i, v := range r {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rows))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one line of an experiment table.
+type Row struct {
+	Name  string
+	Cells []float64
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string // e.g. "fig11"
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Format is the fmt verb for cells (default "%8.3f").
+	Format string
+	// Notes records the paper's reference values for EXPERIMENTS.md.
+	Notes string
+}
+
+// Render produces an aligned plain-text table.
+func (t *Table) Render() string {
+	format := t.Format
+	if format == "" {
+		format = "%8.3f"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+
+	nameW := len("benchmark")
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	cellW := 8
+	if n := parseWidth(format); n > 0 {
+		cellW = n
+	}
+
+	fmt.Fprintf(&sb, "%-*s", nameW+2, "benchmark")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, " %*s", cellW, c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		if r.Name == "INT" {
+			sb.WriteString(strings.Repeat("-", nameW+2+(cellW+1)*len(t.Columns)) + "\n")
+		}
+		fmt.Fprintf(&sb, "%-*s", nameW+2, r.Name)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&sb, " "+format, v)
+		}
+		sb.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "paper: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+func parseWidth(format string) int {
+	var w, prec int
+	if n, _ := fmt.Sscanf(format, "%%%d.%df", &w, &prec); n >= 1 {
+		return w
+	}
+	return 0
+}
+
+// Cell returns the value at (rowName, colIdx); ok=false when missing.
+func (t *Table) Cell(rowName string, col int) (float64, bool) {
+	for _, r := range t.Rows {
+		if r.Name == rowName && col < len(r.Cells) {
+			return r.Cells[col], true
+		}
+	}
+	return 0, false
+}
+
+// CellByColumn returns the value at (rowName, columnName).
+func (t *Table) CellByColumn(rowName, column string) (float64, bool) {
+	for i, c := range t.Columns {
+		if c == column {
+			return t.Cell(rowName, i)
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"specvec/internal/emu"
+	"specvec/internal/workload"
+)
+
+// meanRunLength functionally executes a workload and measures, per static
+// load, the lengths of maximal constant-stride runs, returning their mean
+// (runs of length >= 2 only: a "run" of one repeat is not a pattern).
+func meanRunLength(r *Runner, bench string) (float64, error) {
+	b, err := workload.Get(bench)
+	if err != nil {
+		return 0, err
+	}
+	m, err := emu.New(b.Build(r.opts.Scale, r.opts.Seed))
+	if err != nil {
+		return 0, err
+	}
+
+	type state struct {
+		lastAddr uint64
+		stride   int64
+		runLen   int
+		seen     bool
+		haveStr  bool
+	}
+	loads := map[uint64]*state{}
+	var totalLen, runs uint64
+
+	closeRun := func(st *state) {
+		if st.runLen >= 2 {
+			totalLen += uint64(st.runLen)
+			runs++
+		}
+		st.runLen = 0
+	}
+
+	budget := uint64(r.opts.Scale)
+	for !m.Halted() && budget > 0 {
+		d := m.Step()
+		budget--
+		if !d.Inst.IsLoad() {
+			continue
+		}
+		st := loads[d.PC]
+		if st == nil {
+			st = &state{}
+			loads[d.PC] = st
+		}
+		switch {
+		case !st.seen:
+			st.seen = true
+		case !st.haveStr:
+			st.stride = int64(d.EffAddr - st.lastAddr)
+			st.haveStr = true
+			st.runLen = 2
+		default:
+			if s := int64(d.EffAddr - st.lastAddr); s == st.stride {
+				st.runLen++
+			} else {
+				closeRun(st)
+				st.stride = s
+				st.runLen = 2
+			}
+		}
+		st.lastAddr = d.EffAddr
+	}
+	for _, st := range loads {
+		closeRun(st)
+	}
+	if runs == 0 {
+		return 0, nil
+	}
+	return float64(totalLen) / float64(runs), nil
+}

@@ -1,0 +1,15 @@
+package isa
+
+import "math"
+
+// floatBits and FloatFromBits centralise the raw-bit view of float64 data.
+// The register files and memory store 64-bit words; FP instructions
+// interpret them as IEEE-754 doubles.
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// FloatBits returns the word encoding of an IEEE-754 double.
+func FloatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// FloatFromBits returns the IEEE-754 double encoded by a word.
+func FloatFromBits(w uint64) float64 { return math.Float64frombits(w) }

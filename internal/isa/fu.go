@@ -1,0 +1,102 @@
+package isa
+
+// FUClass identifies the functional-unit pool an instruction executes on,
+// matching the pools of Table 1 in the paper. Mul and div share a pool but
+// have different latencies; division is not pipelined.
+type FUClass uint8
+
+const (
+	// FUNone marks instructions that need no functional unit (nop, halt,
+	// unconditional jumps resolved at decode).
+	FUNone FUClass = iota
+	// FUIntALU is the simple integer pool (latency 1, pipelined).
+	FUIntALU
+	// FUIntMulDiv is the integer multiply/divide pool (mul 2 pipelined,
+	// div 12 unpipelined).
+	FUIntMulDiv
+	// FUFPALU is the simple floating-point pool (latency 2, pipelined).
+	FUFPALU
+	// FUFPMulDiv is the FP multiply/divide pool (mul 4 pipelined, div 14
+	// unpipelined).
+	FUFPMulDiv
+	// FUMem is the load/store port pool (cache access latency).
+	FUMem
+
+	// NumFUClasses is the number of pools (for table sizing).
+	NumFUClasses
+)
+
+var fuNames = [...]string{
+	FUNone: "none", FUIntALU: "int", FUIntMulDiv: "intMulDiv",
+	FUFPALU: "fp", FUFPMulDiv: "fpMulDiv", FUMem: "mem",
+}
+
+// String returns a short pool name.
+func (c FUClass) String() string { return fuNames[c] }
+
+// Latencies from Table 1: simple int 1, int mul 2, int div 12, simple FP 2,
+// FP mul 4, FP div 14. Memory latency comes from the cache model instead.
+const (
+	LatIntALU = 1
+	LatIntMul = 2
+	LatIntDiv = 12
+	LatFPALU  = 2
+	LatFPMul  = 4
+	LatFPDiv  = 14
+)
+
+// ClassOf returns the functional-unit pool for op.
+func ClassOf(op Op) FUClass {
+	switch op {
+	case OpLd, OpLdf, OpSt, OpStf:
+		return FUMem
+	case OpMul, OpDiv, OpRem:
+		return FUIntMulDiv
+	case OpFmul, OpFdiv:
+		return FUFPMulDiv
+	case OpFadd, OpFsub, OpFneg, OpFabs, OpFmov, OpFcvtIF, OpFcvtFI,
+		OpFlt, OpFle, OpFeq:
+		return FUFPALU
+	case OpNop, OpHalt, OpJ, OpJal:
+		return FUNone
+	default:
+		// Integer ALU also executes branches, jr target adds and li.
+		return FUIntALU
+	}
+}
+
+// LatencyOf returns the execution latency in cycles for op on its pool.
+// Memory operations return the address-generation latency only; the cache
+// access is modelled separately by the pipeline.
+func LatencyOf(op Op) int {
+	switch ClassOf(op) {
+	case FUIntALU:
+		return LatIntALU
+	case FUIntMulDiv:
+		if op == OpMul {
+			return LatIntMul
+		}
+		return LatIntDiv
+	case FUFPALU:
+		return LatFPALU
+	case FUFPMulDiv:
+		if op == OpFmul {
+			return LatFPMul
+		}
+		return LatFPDiv
+	case FUMem:
+		return 1 // address generation
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether back-to-back issue to the same unit is possible
+// for op (divides occupy their unit for the full latency).
+func Pipelined(op Op) bool {
+	switch op {
+	case OpDiv, OpRem, OpFdiv:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNaming(t *testing.T) {
+	if got := IntReg(7).String(); got != "r7" {
+		t.Errorf("IntReg(7) = %q, want r7", got)
+	}
+	if got := FPReg(3).String(); got != "f3" {
+		t.Errorf("FPReg(3) = %q, want f3", got)
+	}
+	if !FPReg(0).IsFP() {
+		t.Error("FPReg(0).IsFP() = false")
+	}
+	if IntReg(31).IsFP() {
+		t.Error("IntReg(31).IsFP() = true")
+	}
+	if !IntReg(0).IsZero() {
+		t.Error("r0 should be the zero register")
+	}
+	if FPReg(0).IsZero() {
+		t.Error("f0 must not be treated as the zero register")
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		if FPReg(i).Index() != i {
+			t.Fatalf("FPReg(%d).Index() = %d", i, FPReg(i).Index())
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	cases := []struct {
+		in                         Inst
+		load, store, branch, arith bool
+	}{
+		{Inst{Op: OpLd}, true, false, false, false},
+		{Inst{Op: OpLdf}, true, false, false, false},
+		{Inst{Op: OpSt}, false, true, false, false},
+		{Inst{Op: OpStf}, false, true, false, false},
+		{Inst{Op: OpAdd}, false, false, false, true},
+		{Inst{Op: OpLi}, false, false, false, true},
+		{Inst{Op: OpFdiv}, false, false, false, true},
+		{Inst{Op: OpFeq}, false, false, false, true},
+		{Inst{Op: OpBeq}, false, false, true, false},
+		{Inst{Op: OpBgeu}, false, false, true, false},
+		{Inst{Op: OpJ}, false, false, false, false},
+		{Inst{Op: OpHalt}, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.in.IsLoad() != c.load {
+			t.Errorf("%s IsLoad = %v", c.in.Op, c.in.IsLoad())
+		}
+		if c.in.IsStore() != c.store {
+			t.Errorf("%s IsStore = %v", c.in.Op, c.in.IsStore())
+		}
+		if c.in.IsBranch() != c.branch {
+			t.Errorf("%s IsBranch = %v", c.in.Op, c.in.IsBranch())
+		}
+		if c.in.IsArith() != c.arith {
+			t.Errorf("%s IsArith = %v", c.in.Op, c.in.IsArith())
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if (Inst{Op: OpAdd, Rd: IntReg(0)}).WritesReg() {
+		t.Error("writes to r0 must be discarded")
+	}
+	if !(Inst{Op: OpFadd, Rd: FPReg(0)}).WritesReg() {
+		t.Error("writes to f0 are architectural")
+	}
+	if (Inst{Op: OpSt}).WritesReg() {
+		t.Error("stores write no register")
+	}
+	if !(Inst{Op: OpJal, Rd: IntReg(31)}).WritesReg() {
+		t.Error("jal writes the link register")
+	}
+	if (Inst{Op: OpBeq}).WritesReg() {
+		t.Error("branches write no register")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	in := Inst{Op: OpSt, Rs1: IntReg(2), Rs2: IntReg(3)}
+	srcs, n := in.SrcRegs()
+	if n != 2 || srcs[0] != IntReg(2) || srcs[1] != IntReg(3) {
+		t.Errorf("store SrcRegs = %v/%d", srcs[:n], n)
+	}
+	in = Inst{Op: OpLd, Rs1: IntReg(4)}
+	srcs, n = in.SrcRegs()
+	if n != 1 || srcs[0] != IntReg(4) {
+		t.Errorf("load SrcRegs = %v/%d", srcs[:n], n)
+	}
+	in = Inst{Op: OpLi, Rd: IntReg(1), Imm: 5}
+	if _, n := in.SrcRegs(); n != 0 {
+		t.Errorf("li reads %d registers, want 0", n)
+	}
+	in = Inst{Op: OpAddi, Rs1: IntReg(9)}
+	srcs, n = in.SrcRegs()
+	if n != 1 || srcs[0] != IntReg(9) {
+		t.Errorf("addi SrcRegs = %v/%d", srcs[:n], n)
+	}
+}
+
+func TestFUClasses(t *testing.T) {
+	cases := []struct {
+		op   Op
+		cls  FUClass
+		lat  int
+		pipe bool
+	}{
+		{OpAdd, FUIntALU, 1, true},
+		{OpMul, FUIntMulDiv, 2, true},
+		{OpDiv, FUIntMulDiv, 12, false},
+		{OpFadd, FUFPALU, 2, true},
+		{OpFmul, FUFPMulDiv, 4, true},
+		{OpFdiv, FUFPMulDiv, 14, false},
+		{OpLd, FUMem, 1, true},
+		{OpBeq, FUIntALU, 1, true},
+		{OpJ, FUNone, 1, true},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.cls {
+			t.Errorf("ClassOf(%s) = %s, want %s", c.op, got, c.cls)
+		}
+		if got := LatencyOf(c.op); got != c.lat {
+			t.Errorf("LatencyOf(%s) = %d, want %d", c.op, got, c.lat)
+		}
+		if got := Pipelined(c.op); got != c.pipe {
+			t.Errorf("Pipelined(%s) = %v, want %v", c.op, got, c.pipe)
+		}
+	}
+}
+
+func TestPCByteRoundTrip(t *testing.T) {
+	f := func(pc uint32) bool {
+		return ByteToPC(PCToByte(uint64(pc))) == uint64(pc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderControlFlow(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(IntReg(1), 0)
+	b.Label("loop")
+	b.Addi(IntReg(1), IntReg(1), 1)
+	b.Slti(IntReg(2), IntReg(1), 10)
+	b.Bne(IntReg(2), IntReg(0), "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Insts[3]
+	if !br.IsBranch() || br.Imm != 1 {
+		t.Errorf("branch target = %d, want 1 (%s)", br.Imm, br)
+	}
+	if p.Symbols["loop"] != 1 {
+		t.Errorf("label loop = %d, want 1", p.Symbols["loop"])
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build succeeded with duplicate label")
+	}
+}
+
+func TestBuilderDataLayout(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.DataWords("a", []uint64{1, 2, 3})
+	a2 := b.DataZero("b", 4)
+	if a1 == a2 {
+		t.Fatal("data blocks alias")
+	}
+	if a2 <= a1+3*WordBytes {
+		t.Errorf("no guard gap: a=%#x b=%#x", a1, a2)
+	}
+	if b.DataAddr("a") != a1 || b.DataAddr("b") != a2 {
+		t.Error("DataAddr mismatch")
+	}
+	if a1%WordBytes != 0 || a2%WordBytes != 0 {
+		t.Error("data blocks not word aligned")
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(p.Segments))
+	}
+}
+
+func TestProgramValidateOverlap(t *testing.T) {
+	p := &Program{
+		Insts: []Inst{{Op: OpHalt}},
+		Segments: []Segment{
+			{Addr: 100, Data: make([]byte, 16)},
+			{Addr: 108, Data: make([]byte, 8)},
+		},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted overlapping segments")
+	}
+}
+
+func TestProgramInstOutOfRange(t *testing.T) {
+	p := &Program{Insts: []Inst{{Op: OpNop}}}
+	if got := p.Inst(99); got.Op != OpHalt {
+		t.Errorf("out-of-range fetch = %s, want halt", got)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpLd, Rd: IntReg(1), Rs1: IntReg(2), Imm: 8}, "ld r1, 8(r2)"},
+		{Inst{Op: OpSt, Rs2: IntReg(3), Rs1: IntReg(4), Imm: -16}, "st r3, -16(r4)"},
+		{Inst{Op: OpAdd, Rd: IntReg(1), Rs1: IntReg(2), Rs2: IntReg(3)}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: IntReg(1), Rs1: IntReg(2), Imm: 4}, "addi r1, r2, 4"},
+		{Inst{Op: OpBeq, Rs1: IntReg(1), Rs2: IntReg(2), Imm: 7}, "beq r1, r2, @7"},
+		{Inst{Op: OpFadd, Rd: FPReg(1), Rs1: FPReg(2), Rs2: FPReg(3)}, "fadd f1, f2, f3"},
+		{Inst{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool { return FloatFromBits(FloatBits(v)) == v || v != v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Segment is a chunk of initialised data memory.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+// Program is an executable image: code, entry point and initial data.
+type Program struct {
+	Name     string
+	Insts    []Inst
+	Entry    uint64 // instruction index of the first instruction
+	Segments []Segment
+	Symbols  map[string]uint64 // label -> instruction index
+	DataSyms map[string]uint64 // data label -> byte address
+}
+
+// Inst returns the instruction at index pc, or a halt if out of range (the
+// emulator treats running off the end as termination).
+func (p *Program) Inst(pc uint64) Inst {
+	if pc >= uint64(len(p.Insts)) {
+		return Inst{Op: OpHalt}
+	}
+	return p.Insts[pc]
+}
+
+// Validate checks branch/jump targets and segment sanity.
+func (p *Program) Validate() error {
+	n := int64(len(p.Insts))
+	for idx, in := range p.Insts {
+		if in.IsBranch() || in.Op == OpJ || in.Op == OpJal {
+			if in.Imm < 0 || in.Imm > n {
+				return fmt.Errorf("inst %d (%s): control target %d out of range [0,%d]", idx, in, in.Imm, n)
+			}
+		}
+	}
+	if p.Entry >= uint64(n) && n > 0 {
+		return fmt.Errorf("entry %d out of range", p.Entry)
+	}
+	segs := append([]Segment(nil), p.Segments...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Addr < segs[j].Addr })
+	for i := 1; i < len(segs); i++ {
+		prev := segs[i-1]
+		if prev.Addr+uint64(len(prev.Data)) > segs[i].Addr {
+			return fmt.Errorf("overlapping data segments at %#x and %#x", prev.Addr, segs[i].Addr)
+		}
+	}
+	return nil
+}
+
+// Builder constructs a Program with label-based control flow. Workload
+// generators and tests use it directly; the text assembler lowers onto it.
+type Builder struct {
+	name     string
+	insts    []Inst
+	labels   map[string]uint64
+	fixups   []fixup // control instructions whose Imm is a label
+	segments []Segment
+	dataSyms map[string]uint64
+	dataAddr uint64
+	err      error
+}
+
+type fixup struct {
+	index int
+	label string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   map[string]uint64{},
+		dataSyms: map[string]uint64{},
+		dataAddr: DataBase,
+	}
+}
+
+// Err returns the first error recorded by the builder, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// PC returns the index of the next instruction to be emitted.
+func (b *Builder) PC() uint64 { return uint64(len(b.insts)) }
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Inst) { b.insts = append(b.insts, in) }
+
+// emitControl appends a control instruction targeting label.
+func (b *Builder) emitControl(in Inst, label string) {
+	b.fixups = append(b.fixups, fixup{index: len(b.insts), label: label})
+	b.insts = append(b.insts, in)
+}
+
+// Instruction helpers. Naming follows the mnemonics.
+
+func (b *Builder) Nop()                        { b.Emit(Inst{Op: OpNop}) }
+func (b *Builder) Halt()                       { b.Emit(Inst{Op: OpHalt}) }
+func (b *Builder) Ld(rd, base Reg, off int64)  { b.Emit(Inst{Op: OpLd, Rd: rd, Rs1: base, Imm: off}) }
+func (b *Builder) Ldf(fd, base Reg, off int64) { b.Emit(Inst{Op: OpLdf, Rd: fd, Rs1: base, Imm: off}) }
+func (b *Builder) St(val, base Reg, off int64) { b.Emit(Inst{Op: OpSt, Rs2: val, Rs1: base, Imm: off}) }
+func (b *Builder) Stf(val, base Reg, off int64) {
+	b.Emit(Inst{Op: OpStf, Rs2: val, Rs1: base, Imm: off})
+}
+
+func (b *Builder) op3(op Op, rd, rs1, rs2 Reg) { b.Emit(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) opImm(op Op, rd, rs1 Reg, imm int64) {
+	b.Emit(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) Add(rd, rs1, rs2 Reg)  { b.op3(OpAdd, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 Reg)  { b.op3(OpSub, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 Reg)  { b.op3(OpMul, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 Reg)  { b.op3(OpDiv, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 Reg)  { b.op3(OpRem, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 Reg)  { b.op3(OpAnd, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 Reg)   { b.op3(OpOr, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 Reg)  { b.op3(OpXor, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 Reg)  { b.op3(OpSll, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 Reg)  { b.op3(OpSrl, rd, rs1, rs2) }
+func (b *Builder) Sra(rd, rs1, rs2 Reg)  { b.op3(OpSra, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 Reg)  { b.op3(OpSlt, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 Reg) { b.op3(OpSltu, rd, rs1, rs2) }
+
+func (b *Builder) Addi(rd, rs1 Reg, imm int64) { b.opImm(OpAddi, rd, rs1, imm) }
+func (b *Builder) Andi(rd, rs1 Reg, imm int64) { b.opImm(OpAndi, rd, rs1, imm) }
+func (b *Builder) Ori(rd, rs1 Reg, imm int64)  { b.opImm(OpOri, rd, rs1, imm) }
+func (b *Builder) Xori(rd, rs1 Reg, imm int64) { b.opImm(OpXori, rd, rs1, imm) }
+func (b *Builder) Slli(rd, rs1 Reg, imm int64) { b.opImm(OpSlli, rd, rs1, imm) }
+func (b *Builder) Srli(rd, rs1 Reg, imm int64) { b.opImm(OpSrli, rd, rs1, imm) }
+func (b *Builder) Srai(rd, rs1 Reg, imm int64) { b.opImm(OpSrai, rd, rs1, imm) }
+func (b *Builder) Slti(rd, rs1 Reg, imm int64) { b.opImm(OpSlti, rd, rs1, imm) }
+func (b *Builder) Li(rd Reg, imm int64)        { b.Emit(Inst{Op: OpLi, Rd: rd, Imm: imm}) }
+
+func (b *Builder) Fadd(fd, fs1, fs2 Reg) { b.op3(OpFadd, fd, fs1, fs2) }
+func (b *Builder) Fsub(fd, fs1, fs2 Reg) { b.op3(OpFsub, fd, fs1, fs2) }
+func (b *Builder) Fmul(fd, fs1, fs2 Reg) { b.op3(OpFmul, fd, fs1, fs2) }
+func (b *Builder) Fdiv(fd, fs1, fs2 Reg) { b.op3(OpFdiv, fd, fs1, fs2) }
+func (b *Builder) Fneg(fd, fs1 Reg)      { b.Emit(Inst{Op: OpFneg, Rd: fd, Rs1: fs1}) }
+func (b *Builder) Fabs(fd, fs1 Reg)      { b.Emit(Inst{Op: OpFabs, Rd: fd, Rs1: fs1}) }
+func (b *Builder) Fmov(fd, fs1 Reg)      { b.Emit(Inst{Op: OpFmov, Rd: fd, Rs1: fs1}) }
+func (b *Builder) FcvtIF(fd, rs1 Reg)    { b.Emit(Inst{Op: OpFcvtIF, Rd: fd, Rs1: rs1}) }
+func (b *Builder) FcvtFI(rd, fs1 Reg)    { b.Emit(Inst{Op: OpFcvtFI, Rd: rd, Rs1: fs1}) }
+func (b *Builder) Flt(rd, fs1, fs2 Reg)  { b.op3(OpFlt, rd, fs1, fs2) }
+func (b *Builder) Fle(rd, fs1, fs2 Reg)  { b.op3(OpFle, rd, fs1, fs2) }
+func (b *Builder) Feq(rd, fs1, fs2 Reg)  { b.op3(OpFeq, rd, fs1, fs2) }
+
+func (b *Builder) Beq(rs1, rs2 Reg, label string) {
+	b.emitControl(Inst{Op: OpBeq, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bne(rs1, rs2 Reg, label string) {
+	b.emitControl(Inst{Op: OpBne, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Blt(rs1, rs2 Reg, label string) {
+	b.emitControl(Inst{Op: OpBlt, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bge(rs1, rs2 Reg, label string) {
+	b.emitControl(Inst{Op: OpBge, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bltu(rs1, rs2 Reg, label string) {
+	b.emitControl(Inst{Op: OpBltu, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bgeu(rs1, rs2 Reg, label string) {
+	b.emitControl(Inst{Op: OpBgeu, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) J(label string)           { b.emitControl(Inst{Op: OpJ}, label) }
+func (b *Builder) Jal(rd Reg, label string) { b.emitControl(Inst{Op: OpJal, Rd: rd}, label) }
+func (b *Builder) Jr(rs1 Reg, off int64)    { b.Emit(Inst{Op: OpJr, Rs1: rs1, Imm: off}) }
+
+// Data placement.
+
+// DataWords reserves a labelled block of 64-bit words at the next free data
+// address and returns its byte address.
+func (b *Builder) DataWords(label string, words []uint64) uint64 {
+	buf := make([]byte, len(words)*WordBytes)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*WordBytes:], w)
+	}
+	return b.DataBytes(label, buf)
+}
+
+// DataFloats reserves a labelled block of float64 values.
+func (b *Builder) DataFloats(label string, vals []float64) uint64 {
+	words := make([]uint64, len(vals))
+	for i, v := range vals {
+		words[i] = floatBits(v)
+	}
+	return b.DataWords(label, words)
+}
+
+// DataBytes reserves a labelled raw block.
+func (b *Builder) DataBytes(label string, data []byte) uint64 {
+	addr := b.dataAddr
+	b.segments = append(b.segments, Segment{Addr: addr, Data: data})
+	if label != "" {
+		if _, dup := b.dataSyms[label]; dup {
+			b.fail("duplicate data label %q", label)
+		}
+		b.dataSyms[label] = addr
+	}
+	// Keep blocks word-aligned and leave a guard gap between blocks so a
+	// workload bug cannot silently alias two arrays.
+	sz := (uint64(len(data)) + WordBytes - 1) &^ uint64(WordBytes-1)
+	b.dataAddr = addr + sz + WordBytes
+	return addr
+}
+
+// DataZero reserves a labelled zero-initialised block of n words.
+func (b *Builder) DataZero(label string, nWords int) uint64 {
+	return b.DataBytes(label, make([]byte, nWords*WordBytes))
+}
+
+// BindDataLabel binds an additional label to an existing byte address
+// (label aliases).
+func (b *Builder) BindDataLabel(label string, addr uint64) {
+	if _, dup := b.dataSyms[label]; dup {
+		b.fail("duplicate data label %q", label)
+		return
+	}
+	b.dataSyms[label] = addr
+}
+
+// DataAddr returns the byte address bound to a data label.
+func (b *Builder) DataAddr(label string) uint64 {
+	addr, ok := b.dataSyms[label]
+	if !ok {
+		b.fail("unknown data label %q", label)
+	}
+	return addr
+}
+
+// LoadAddr emits `li rd, addr-of(label)`.
+func (b *Builder) LoadAddr(rd Reg, label string) { b.Li(rd, int64(b.DataAddr(label))) }
+
+// Build resolves labels and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", f.label)
+		}
+		b.insts[f.index].Imm = int64(target)
+	}
+	p := &Program{
+		Name:     b.name,
+		Insts:    b.insts,
+		Segments: b.segments,
+		Symbols:  b.labels,
+		DataSyms: b.dataSyms,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for program constructions that cannot fail at run time
+// (generators with fixed label sets); it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specvec/internal/stats"
+)
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{SizeBytes: 64 << 10, LineBytes: 32, Assoc: 2, HitLat: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 64 << 10, LineBytes: 33, Assoc: 2},
+		{SizeBytes: 48 << 10, LineBytes: 32, Assoc: 2}, // 768 sets, not power of 2
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 2, HitLat: 1})
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x1008, false); !hit {
+		t.Error("same-line access missed")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 4 sets of 32B lines -> same set every 128 bytes.
+	c := NewCache(CacheConfig{SizeBytes: 256, LineBytes: 32, Assoc: 2, HitLat: 1})
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a more recent than b
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Lookup(a) {
+		t.Error("a evicted, should have stayed")
+	}
+	if c.Lookup(b) {
+		t.Error("b not evicted")
+	}
+	if !c.Lookup(d) {
+		t.Error("d not resident")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 64, LineBytes: 32, Assoc: 1, HitLat: 1})
+	c.Access(0, true)   // dirty
+	c.Access(64, false) // evicts set 0? 64/32=line 2, set 0 with 2 sets
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks)
+	}
+	c.Access(128, false) // evicts clean line
+	if c.Writebacks != 1 {
+		t.Errorf("clean eviction caused writeback")
+	}
+}
+
+// TestCacheVsOracle drives random accesses into the cache and an
+// infinite-capacity oracle; hit implies the oracle has seen the line.
+func TestCacheVsOracle(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 4, HitLat: 1})
+	seen := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		addr := uint64(rng.Intn(1 << 14))
+		lineAddr := c.LineAddr(addr)
+		hit, _ := c.Access(addr, rng.Intn(2) == 0)
+		if hit && !seen[lineAddr] {
+			t.Fatalf("hit on never-seen line %#x", lineAddr)
+		}
+		seen[lineAddr] = true
+	}
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Error("degenerate access pattern")
+	}
+}
+
+func TestLineAddrProperty(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 2, HitLat: 1})
+	f := func(addr uint64) bool {
+		la := c.LineAddr(addr)
+		return la%32 == 0 && la <= addr && addr-la < 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	sim := stats.New()
+	h := NewHierarchy(DefaultHierarchy(), sim)
+	// Cold: L1 miss, L2 miss -> memory latency.
+	if lat := h.AccessData(0x1000, false, 0); lat != 18 {
+		t.Errorf("cold access latency = %d, want 18", lat)
+	}
+	// Warm L1.
+	if lat := h.AccessData(0x1000, false, 1); lat != 1 {
+		t.Errorf("L1 hit latency = %d, want 1", lat)
+	}
+	if sim.L1DHits != 1 || sim.L1DMisses != 1 || sim.L2Misses != 1 {
+		t.Errorf("counters: %+v", sim)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	sim := stats.New()
+	cfg := DefaultHierarchy()
+	// Tiny L1 so it conflicts quickly: 2 lines direct-mapped.
+	cfg.DCache = CacheConfig{SizeBytes: 64, LineBytes: 32, Assoc: 1, HitLat: 1}
+	h := NewHierarchy(cfg, sim)
+	h.AccessData(0, false, 0)        // L1+L2 miss
+	h.AccessData(64, false, 0)       // conflicts with 0 in L1, L2 miss
+	lat := h.AccessData(0, false, 0) // L1 miss, L2 hit
+	if lat != cfg.L2Lat {
+		t.Errorf("L2 hit latency = %d, want %d", lat, cfg.L2Lat)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	sim := stats.New()
+	cfg := DefaultHierarchy()
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg, sim)
+	if !h.CanAcceptData(0) {
+		t.Fatal("empty MSHRs rejected access")
+	}
+	h.AccessData(0x10000, false, 0)
+	h.AccessData(0x20000, false, 0)
+	if h.CanAcceptData(0) {
+		t.Error("MSHR limit not enforced")
+	}
+	// After both misses complete the hierarchy accepts again.
+	if !h.CanAcceptData(100) {
+		t.Error("MSHRs never freed")
+	}
+	if h.OutstandingMisses(100) != 0 {
+		t.Error("outstanding misses not retired")
+	}
+}
+
+func TestInstCacheSpatialLocality(t *testing.T) {
+	sim := stats.New()
+	h := NewHierarchy(DefaultHierarchy(), sim)
+	h.AccessInst(0x400000)
+	for off := uint64(8); off < 64; off += 8 {
+		if lat := h.AccessInst(0x400000 + off); lat != 1 {
+			t.Errorf("same-line inst fetch at +%d latency %d", off, lat)
+		}
+	}
+	if sim.L1IMisses != 1 {
+		t.Errorf("I-misses = %d, want 1", sim.L1IMisses)
+	}
+}
+
+func TestPortsArbitration(t *testing.T) {
+	sim := stats.New()
+	p := NewPorts(2, true, sim)
+	p.BeginCycle(0)
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("ports not granted")
+	}
+	if p.TryAcquire() {
+		t.Error("third acquire on 2 ports succeeded")
+	}
+	if p.FreeThisCycle() != 0 {
+		t.Error("FreeThisCycle != 0")
+	}
+	p.BeginCycle(1)
+	if !p.TryAcquire() {
+		t.Error("port not freed next cycle")
+	}
+	if sim.MemAccesses != 3 || sim.PortBusyCycles != 3 {
+		t.Errorf("accesses=%d busy=%d", sim.MemAccesses, sim.PortBusyCycles)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 256, LineBytes: 32, Assoc: 2, HitLat: 1})
+	c.Access(0, false)
+	c.InvalidateAll()
+	if c.Lookup(0) {
+		t.Error("line survived InvalidateAll")
+	}
+}

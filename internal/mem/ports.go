@@ -1,0 +1,46 @@
+package mem
+
+import "specvec/internal/stats"
+
+// Ports arbitrates the L1 data cache ports. Each port accepts one access
+// per cycle (the cache is pipelined). With a wide bus, one access transfers
+// a whole cache line and may serve several pending loads (§3.7); with
+// scalar buses an access transfers a single 64-bit word.
+type Ports struct {
+	n     int
+	wide  bool
+	sim   *stats.Sim
+	cycle uint64
+	used  int
+}
+
+// NewPorts returns a port set of n ports; wide selects line-wide transfers.
+func NewPorts(n int, wide bool, sim *stats.Sim) *Ports {
+	return &Ports{n: n, wide: wide, sim: sim}
+}
+
+// Count returns the number of ports.
+func (p *Ports) Count() int { return p.n }
+
+// Wide reports whether transfers are line-wide.
+func (p *Ports) Wide() bool { return p.wide }
+
+// BeginCycle resets per-cycle arbitration state.
+func (p *Ports) BeginCycle(cycle uint64) {
+	p.cycle = cycle
+	p.used = 0
+}
+
+// TryAcquire claims a port for one access in the current cycle.
+func (p *Ports) TryAcquire() bool {
+	if p.used >= p.n {
+		return false
+	}
+	p.used++
+	p.sim.PortBusyCycles++
+	p.sim.MemAccesses++
+	return true
+}
+
+// FreeThisCycle returns how many ports remain available this cycle.
+func (p *Ports) FreeThisCycle() int { return p.n - p.used }

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"testing"
+
+	"specvec/internal/config"
+	"specvec/internal/isa"
+)
+
+// bigCodeLoop builds a loop whose body exceeds the 64KB I-cache (8
+// instructions per 64-byte line -> needs > 8192 instructions of code).
+func bigCodeLoop() *isa.Program {
+	b := isa.NewBuilder("bigcode")
+	r := isa.IntReg
+	b.Li(r(1), 0)
+	b.Li(r(2), 12)
+	b.Label("loop")
+	for i := 0; i < 9000; i++ {
+		b.Addi(r(3), r(3), 1)
+	}
+	b.Addi(r(1), r(1), 1)
+	b.Blt(r(1), r(2), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestICachePressure(t *testing.T) {
+	st := run(t, config.FourWay(), bigCodeLoop())
+	if st.L1IMisses == 0 {
+		t.Error("64KB+ loop body produced no I-cache misses")
+	}
+	// Every loop iteration re-misses the whole body (capacity), so the
+	// miss count must scale with iterations, not just the first pass.
+	if st.L1IMisses < 2*9000/8 {
+		t.Errorf("I-misses = %d, want capacity misses across iterations", st.L1IMisses)
+	}
+}
+
+func TestMSHRLimitStallsLoads(t *testing.T) {
+	// A load-dense streaming kernel against a tiny MSHR pool must record
+	// MSHR stalls.
+	cfg := config.MustNamed(4, 4, config.ModeNoIM)
+	cfg.Mem.MSHRs = 2
+	b := isa.NewBuilder("stream")
+	r := isa.IntReg
+	b.DataZero("a", 8192)
+	b.LoadAddr(r(1), "a")
+	b.Li(r(2), 0)
+	b.Li(r(3), 2000)
+	b.Label("loop")
+	b.Ld(r(4), r(1), 0)
+	b.Ld(r(5), r(1), 256) // distinct lines: misses
+	b.Ld(r(6), r(1), 512)
+	b.Ld(r(7), r(1), 768)
+	b.Addi(r(1), r(1), 8)
+	b.Addi(r(2), r(2), 1)
+	b.Blt(r(2), r(3), "loop")
+	b.Halt()
+	st := run(t, cfg, b.MustBuild())
+	if st.MSHRStallCycles == 0 {
+		t.Error("2-entry MSHR pool never stalled a streaming kernel")
+	}
+}
+
+func TestEightWayBeatsFourWayOnILP(t *testing.T) {
+	// A wide independent-operation body should profit from the 8-way core.
+	b := isa.NewBuilder("ilp")
+	r := isa.IntReg
+	b.Li(r(1), 0)
+	b.Li(r(2), 3000)
+	b.Label("loop")
+	for i := 3; i < 27; i++ {
+		b.Addi(r(i), r(i), 1) // 24 independent adds
+	}
+	b.Addi(r(1), r(1), 1)
+	b.Blt(r(1), r(2), "loop")
+	b.Halt()
+	prog := b.MustBuild()
+	ipc4 := run(t, config.MustNamed(4, 1, config.ModeNoIM), prog).IPC()
+	ipc8 := run(t, config.MustNamed(8, 1, config.ModeNoIM), prog).IPC()
+	if ipc8 < ipc4*1.3 {
+		t.Errorf("8-way (%.2f) not clearly above 4-way (%.2f) on pure ILP", ipc8, ipc4)
+	}
+}
+
+func TestIndirectJumpStalls(t *testing.T) {
+	// Call/return through jal and jr: the return-address stack must
+	// predict the returns, so jump mispredicts stay near zero and the
+	// program completes correctly.
+	b := isa.NewBuilder("indirect")
+	r := isa.IntReg
+	b.Li(r(1), 0)
+	b.Li(r(2), 400)
+	b.Label("loop")
+	b.Jal(r(31), "fn")
+	b.Addi(r(1), r(1), 1)
+	b.Blt(r(1), r(2), "loop")
+	b.Halt()
+	b.Label("fn")
+	b.Addi(r(6), r(6), 1)
+	b.Jr(r(31), 0)
+	st := run(t, config.FourWay(), b.MustBuild())
+	if st.Committed == 0 {
+		t.Fatal("no progress")
+	}
+	// Returns are RAS-predicted: near-zero jump mispredicts expected.
+	if st.JumpMispredicts > st.Committed/50 {
+		t.Errorf("RAS ineffective: %d jump mispredicts", st.JumpMispredicts)
+	}
+}
+
+func TestStoreCommitLimit(t *testing.T) {
+	// A store-only loop can commit at most 2 stores per cycle (§3.6):
+	// IPC of a 4-store body is bounded accordingly.
+	b := isa.NewBuilder("stores")
+	r := isa.IntReg
+	b.DataZero("a", 4096)
+	b.LoadAddr(r(1), "a")
+	b.Li(r(2), 0)
+	b.Li(r(3), 4000)
+	b.Label("loop")
+	b.St(r(2), r(1), 0)
+	b.St(r(2), r(1), 8)
+	b.St(r(2), r(1), 16)
+	b.St(r(2), r(1), 24)
+	b.Addi(r(1), r(1), 32)
+	b.Addi(r(2), r(2), 1)
+	b.Blt(r(2), r(3), "loop")
+	b.Halt()
+	cfg := config.MustNamed(4, 4, config.ModeNoIM)
+	st := run(t, cfg, b.MustBuild())
+	// 7 instructions per iteration, 4 stores -> at least 2 cycles just for
+	// store commit: IPC <= 3.5 even on a 4-wide core.
+	if st.IPC() > 3.5 {
+		t.Errorf("IPC %.2f exceeds the 2-stores-per-cycle commit bound", st.IPC())
+	}
+}

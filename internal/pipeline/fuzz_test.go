@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"specvec/internal/config"
+	"specvec/internal/emu"
+	"specvec/internal/isa"
+)
+
+// randomProgram generates a structurally valid program: a counted loop
+// whose body is a random mix of arithmetic, loads and stores over a
+// scratch array, with an occasional data-dependent branch. Every program
+// halts; the interesting behaviour (strides, aliasing, vectorization,
+// conflicts, mispredictions) emerges from the random body.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	b := isa.NewBuilder("fuzz")
+	words := make([]uint64, 256)
+	for i := range words {
+		words[i] = rng.Uint64() % 1000
+	}
+	b.DataWords("scratch", words)
+
+	r := isa.IntReg
+	// r1: array cursor, r2: loop counter, r3: bound, r4..r12: temps.
+	b.LoadAddr(r(1), "scratch")
+	b.Li(r(2), 0)
+	b.Li(r(3), int64(50+rng.Intn(200)))
+	for i := 4; i <= 12; i++ {
+		b.Li(r(i), int64(rng.Intn(100)))
+	}
+	b.Label("loop")
+
+	bodyLen := 3 + rng.Intn(12)
+	skipLabel := ""
+	for i := 0; i < bodyLen; i++ {
+		dst := r(4 + rng.Intn(9))
+		s1 := r(4 + rng.Intn(9))
+		s2 := r(4 + rng.Intn(9))
+		off := int64(rng.Intn(16) * 8)
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			b.Ld(dst, r(1), off)
+		case 3:
+			b.St(s1, r(1), off)
+		case 4:
+			b.Add(dst, s1, s2)
+		case 5:
+			b.Sub(dst, s1, s2)
+		case 6:
+			b.Mul(dst, s1, s2)
+		case 7:
+			b.Xor(dst, s1, s2)
+		case 8:
+			b.Addi(dst, s1, int64(rng.Intn(64)))
+		case 9:
+			if skipLabel == "" {
+				// Forward data-dependent branch over the next chunk.
+				skipLabel = "skip"
+				b.Slti(r(13), s1, int64(rng.Intn(1000)))
+				b.Bne(r(13), r(0), "skip")
+				b.Addi(dst, s1, 1)
+				b.Label("skip")
+			}
+		}
+	}
+
+	// Advance cursor with a random (possibly zero) stride, wrapping inside
+	// the scratch array via masking every 32 iterations.
+	stride := int64(rng.Intn(4) * 8)
+	b.Addi(r(1), r(1), stride)
+	b.Andi(r(14), r(2), 31)
+	b.Bne(r(14), r(0), "noreset")
+	b.LoadAddr(r(1), "scratch")
+	b.Label("noreset")
+
+	b.Addi(r(2), r(2), 1)
+	b.Blt(r(2), r(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestFuzzOracleEquivalence: for random programs and every mode, the
+// timing simulator must commit exactly the functional execution and end
+// with identical architectural state.
+func TestFuzzOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020525)) // ISCA 2002 ;-)
+	for trial := 0; trial < 25; trial++ {
+		prog := randomProgram(rng)
+
+		gold, err := emu.New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gold.Run(5_000_000); err != nil {
+			t.Fatalf("trial %d: functional run: %v", trial, err)
+		}
+
+		for _, mode := range []config.Mode{config.ModeNoIM, config.ModeIM, config.ModeV} {
+			cfg := config.MustNamed(4, 1, mode)
+			s, err := New(cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(1 << 62); err != nil {
+				t.Fatalf("trial %d mode %s: %v", trial, mode, err)
+			}
+			if s.Stats().Committed != gold.InstCount()-1 {
+				t.Fatalf("trial %d mode %s: committed %d, want %d",
+					trial, mode, s.Stats().Committed, gold.InstCount()-1)
+			}
+			for i := 0; i < isa.NumIntRegs; i++ {
+				if s.Machine().IntReg(i) != gold.IntReg(i) {
+					t.Fatalf("trial %d mode %s: r%d = %d, want %d",
+						trial, mode, i, s.Machine().IntReg(i), gold.IntReg(i))
+				}
+			}
+			// Memory effects must match too: compare the scratch array.
+			base := prog.DataSyms["scratch"]
+			for w := uint64(0); w < 256; w++ {
+				got := s.Machine().Mem().Read64(base + w*8)
+				want := gold.Mem().Read64(base + w*8)
+				if got != want {
+					t.Fatalf("trial %d mode %s: scratch[%d] = %d, want %d",
+						trial, mode, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestValidationElementConservation: every committed validation sets
+// exactly one element's V flag, and every V element is eventually
+// accounted as "computed and used" — the two counters must agree.
+func TestValidationElementConservation(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	for _, prog := range []*isa.Program{sumLoop(500), fpStencil(300), noisyBranchLoop(400), storeConflictLoop(300)} {
+		s, err := New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(1 << 62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ElemsComputedUsed != st.Validations() {
+			t.Errorf("%s: used elements %d != committed validations %d",
+				prog.Name, st.ElemsComputedUsed, st.Validations())
+		}
+		total := st.ElemsComputedUsed + st.ElemsComputedUnused + st.ElemsNotComputed
+		if total != st.VRegsFreed*uint64(cfg.VectorLen) {
+			t.Errorf("%s: element accounting %d != 4 * %d freed registers",
+				prog.Name, total, st.VRegsFreed)
+		}
+	}
+}
+
+// TestSquashReplayStatsStable: replayed decodes after store-conflict
+// squashes must not double-count journalled statistics. The strided
+// read/write loop squashes constantly; instance counters must stay
+// consistent with validations.
+func TestSquashReplayStatsStable(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	st := run(t, cfg, storeConflictLoop(400))
+	if st.StoreConflicts == 0 {
+		t.Fatal("expected store conflicts")
+	}
+	// Every load validation belongs to some dispatched load instance.
+	if st.LoadValidations > st.VectorLoadInstances*uint64(cfg.VectorLen) {
+		t.Errorf("validations %d exceed instances %d x VL",
+			st.LoadValidations, st.VectorLoadInstances)
+	}
+	// The stride histogram counts each classified dynamic load once; it can
+	// never exceed committed loads.
+	if st.StrideHist.Total() > st.CommittedLoads {
+		t.Errorf("stride samples %d exceed committed loads %d",
+			st.StrideHist.Total(), st.CommittedLoads)
+	}
+}
+
+// TestVectorStateSurvivesMispredict: after a mispredicted branch resolves,
+// previously created vector state must still supply validations (§3.5) —
+// sampled via the post-mispredict reuse counters.
+func TestVectorStateSurvivesMispredict(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	st := run(t, cfg, noisyBranchLoop(600))
+	if st.BranchMispredicts == 0 {
+		t.Skip("no mispredictions at this scale")
+	}
+	if st.PostMispredictReused == 0 {
+		t.Error("no vector-state reuse after mispredictions")
+	}
+}
+
+// TestChurnCooldownEngages: a loop whose vectorized add consumes a scalar
+// that changes every iteration must settle into scalar mode instead of
+// churning an instance per iteration.
+func TestChurnCooldownEngages(t *testing.T) {
+	b := isa.NewBuilder("churny")
+	r := isa.IntReg
+	words := make([]uint64, 800)
+	for i := range words {
+		words[i] = uint64(i)
+	}
+	b.DataWords("a", words)
+	b.LoadAddr(r(1), "a")
+	b.Li(r(2), 0)
+	b.Li(r(3), 700)
+	b.Label("loop")
+	b.Ld(r(5), r(1), 0)
+	b.Mul(r(6), r(2), r(2)) // scalar that differs every iteration
+	b.Add(r(7), r(5), r(6)) // vector x changing-scalar
+	b.Addi(r(1), r(1), 8)
+	b.Addi(r(2), r(2), 1)
+	b.Blt(r(2), r(3), "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	st := run(t, config.MustNamed(4, 1, config.ModeV), prog)
+	// Without the cooldown the add would create ~700 instances (one per
+	// iteration); with it, creation must be an order of magnitude rarer.
+	if st.VectorArithInstances > 150 {
+		t.Errorf("churn cooldown ineffective: %d arithmetic instances", st.VectorArithInstances)
+	}
+	// The load itself must still be vectorized.
+	if st.LoadValidations == 0 {
+		t.Error("load vectorization disappeared")
+	}
+}

@@ -1,0 +1,266 @@
+package pipeline
+
+import "specvec/internal/isa"
+
+// issueScalar selects up to IssueWidth ready instructions from the issue
+// queue, oldest first, and starts their execution.
+func (s *Simulator) issueScalar() {
+	budget := s.cfg.IssueWidth
+	for _, u := range s.iq {
+		if budget == 0 {
+			break
+		}
+		if u.issued {
+			continue
+		}
+		if s.tryIssue(u) {
+			budget--
+		}
+	}
+	// Drop issued entries from the queue.
+	live := s.iq[:0]
+	for _, u := range s.iq {
+		if !u.issued {
+			live = append(live, u)
+		}
+	}
+	s.iq = live
+}
+
+func (s *Simulator) tryIssue(u *uop) bool {
+	in := u.d.Inst
+	switch {
+	case u.kind == kindArithValidation:
+		return s.issueArithValidation(u)
+	case u.kind == kindLoadValidation:
+		return s.issueLoadValidation(u)
+	case in.IsLoad():
+		return s.issueLoad(u)
+	case in.IsStore():
+		// The memory write happens at commit; the store is complete once
+		// address and data are available.
+		if !u.depsReady(s.cycle) {
+			return false
+		}
+		u.issued, u.doneAt = true, s.cycle+1
+		return true
+	case u.d.Halt, in.Op == isa.OpNop, isa.ClassOf(in.Op) == isa.FUNone:
+		if !u.depsReady(s.cycle) {
+			return false
+		}
+		u.issued, u.doneAt = true, s.cycle+1
+		return true
+	default:
+		if !u.depsReady(s.cycle) {
+			return false
+		}
+		cls, lat := isa.ClassOf(in.Op), isa.LatencyOf(in.Op)
+		if !s.pools[cls].tryIssue(s.cycle, lat, isa.Pipelined(in.Op)) {
+			return false
+		}
+		u.issued, u.doneAt = true, s.cycle+uint64(lat)
+		return true
+	}
+}
+
+// issueArithValidation completes once the awaited element has been
+// computed by the vector datapath; no functional unit is needed. If the
+// producing instance died without scheduling the element, the instruction
+// falls back to scalar execution.
+func (s *Simulator) issueArithValidation(u *uop) bool {
+	if s.vrf.ElemReady(u.vreg, u.vepoch, u.elem, s.cycle) {
+		// The element's data already exists in the vector register; the
+		// check completes immediately (validations are off the data path).
+		u.issued, u.doneAt = true, s.cycle
+		return true
+	}
+	if s.elemDead(u) {
+		s.fallBack(u)
+		return s.tryIssue(u)
+	}
+	return false
+}
+
+// issueLoadValidation checks the predicted address (address operands must
+// be ready — the check uses the AGU result) and waits for the element.
+func (s *Simulator) issueLoadValidation(u *uop) bool {
+	if !u.addrReady(s.cycle) {
+		return false
+	}
+	if s.vrf.ElemReady(u.vreg, u.vepoch, u.elem, s.cycle) {
+		u.issued, u.doneAt = true, s.cycle
+		return true
+	}
+	if s.elemDead(u) {
+		s.fallBack(u)
+		return s.tryIssue(u)
+	}
+	return false
+}
+
+// elemDead reports that the awaited element will never be scheduled: the
+// register reference went stale or the producing instance aborted before
+// reaching it.
+func (s *Simulator) elemDead(u *uop) bool {
+	if !s.vrf.ValidRef(u.vreg, u.vepoch) {
+		return true
+	}
+	if s.vrf.ElemScheduled(u.vreg, u.vepoch, u.elem) {
+		return false // data is on its way
+	}
+	return u.producer == nil || u.producer.aborted
+}
+
+// fallBack converts a validation into ordinary scalar execution and
+// releases its U flag so the register can still be reclaimed.
+func (s *Simulator) fallBack(u *uop) {
+	s.vrf.ClearUsed(u.vreg, u.vepoch, u.elem)
+	u.kind = kindNormal
+	u.fellBack = true
+}
+
+// issueLoad models the load/store queue rules of Table 1 ("loads may
+// execute when prior store addresses are known", store→load forwarding)
+// and the scalar/wide data buses of §3.7.
+func (s *Simulator) issueLoad(u *uop) bool {
+	if !u.addrReady(s.cycle) {
+		return false
+	}
+	// Scan older stores in the LSQ.
+	pos := -1
+	for i, e := range s.lsq {
+		if e == u {
+			pos = i
+			break
+		}
+	}
+	for i := pos - 1; i >= 0; i-- {
+		st := s.lsq[i]
+		if !st.d.Inst.IsStore() {
+			continue
+		}
+		if !st.addrReady(s.cycle) {
+			return false // unknown address: conservative wait
+		}
+		if st.wordAddr() == u.wordAddr() {
+			if !st.dataReady(s.cycle) {
+				return false
+			}
+			u.issued, u.doneAt = true, s.cycle+1 // forwarded, no port
+			return true
+		}
+	}
+
+	// Memory access, merging with an already-issued wide access when the
+	// line matches (§3.7: up to 4 pending loads per access).
+	if s.ports.Wide() {
+		line := s.hier.DLineAddr(u.d.EffAddr)
+		if m := s.merges[line]; m != nil && m.loads < s.cfg.MaxLoadsPerWideAccess {
+			m.loads++
+			m.words[u.wordAddr()] = true
+			u.issued, u.doneAt = true, m.at
+			s.sim.LoadsMerged++
+			return true
+		}
+	}
+	if !s.hier.CanAcceptData(s.cycle) {
+		s.sim.MSHRStallCycles++
+		return false
+	}
+	if !s.ports.TryAcquire() {
+		return false
+	}
+	addr := u.d.EffAddr
+	if s.ports.Wide() {
+		addr = s.hier.DLineAddr(addr)
+	}
+	lat := s.hier.AccessData(addr, false, s.cycle)
+	u.issued, u.doneAt = true, s.cycle+uint64(lat)
+	s.sim.ScalarAccesses++
+	if s.ports.Wide() {
+		s.merges[addr] = &mergeState{
+			loads: 1,
+			words: map[uint64]bool{u.wordAddr(): true},
+			at:    u.doneAt,
+		}
+	}
+	return true
+}
+
+// issueVector advances the vector datapath: loads fetch their line groups
+// through the shared memory ports; arithmetic instances start one element
+// per cycle on a pipelined vector unit once that element's sources are
+// ready (chaining, §3.4).
+func (s *Simulator) issueVector() {
+	live := s.viq[:0]
+	for _, v := range s.viq {
+		if v.aborted || !s.vrf.ValidRef(v.vreg, v.vepoch) {
+			v.aborted = true
+			s.unpinSources(v)
+			continue
+		}
+		if v.isLoad {
+			for v.nextGroup < len(v.groups) {
+				g := v.groups[v.nextGroup]
+				// §3.7: one wide access serves every pending load of the
+				// line, including other vector instances' elements.
+				if s.ports.Wide() {
+					if m := s.merges[g.addr]; m != nil {
+						for _, e := range g.elems {
+							s.vrf.MarkComputed(v.vreg, v.vepoch, e, m.at)
+						}
+						s.vrf.AddLineUse(v.vreg, v.vepoch, g.addr, g.elems)
+						s.sim.LoadsMerged++
+						v.nextGroup++
+						continue
+					}
+				}
+				if !s.hier.CanAcceptData(s.cycle) || !s.ports.TryAcquire() {
+					break
+				}
+				lat := s.hier.AccessData(g.addr, false, s.cycle)
+				done := s.cycle + uint64(lat)
+				for _, e := range g.elems {
+					s.vrf.MarkComputed(v.vreg, v.vepoch, e, done)
+				}
+				if s.ports.Wide() {
+					s.vrf.AddLineUse(v.vreg, v.vepoch, g.addr, g.elems)
+					s.merges[g.addr] = &mergeState{at: done, vector: true, words: map[uint64]bool{}}
+				}
+				s.sim.VectorAccesses++
+				v.nextGroup++
+			}
+		} else if v.nextElem < v.vl && s.vsrcsReady(v, v.nextElem) {
+			cls, lat := isa.ClassOf(v.op), isa.LatencyOf(v.op)
+			if s.vpools[cls].tryIssue(s.cycle, lat, isa.Pipelined(v.op)) {
+				s.vrf.MarkComputed(v.vreg, v.vepoch, v.nextElem, s.cycle+uint64(lat))
+				v.nextElem++
+			}
+		}
+		if v.done() {
+			s.unpinSources(v)
+			continue
+		}
+		live = append(live, v)
+	}
+	s.viq = live
+}
+
+// vsrcsReady reports whether the source elements feeding dest element elem
+// are available; a stale source aborts the instance.
+func (s *Simulator) vsrcsReady(v *vop, elem int) bool {
+	for _, src := range v.srcs {
+		if src.kind != srcVector {
+			continue
+		}
+		if !s.vrf.ValidRef(src.vreg, src.vepoch) {
+			v.aborted = true
+			return false
+		}
+		srcElem := src.start + (elem - v.destStart)
+		if !s.vrf.ElemReady(src.vreg, src.vepoch, srcElem, s.cycle) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"specvec/internal/branch"
+	"specvec/internal/config"
+	"specvec/internal/core"
+	"specvec/internal/emu"
+	"specvec/internal/isa"
+	"specvec/internal/mem"
+	"specvec/internal/stats"
+)
+
+// vsEntry is the decode-side vector/scalar rename state per logical
+// register (the V/S flag and offset of the modified rename table, Figure
+// 6): which vector register and element currently hold the register's
+// latest value.
+type vsEntry struct {
+	isVector bool
+	vreg     int
+	vepoch   uint64
+	offset   int
+}
+
+// vref names a committed vector element mapping (for F-flag bookkeeping).
+type vref struct {
+	valid  bool
+	vreg   int
+	vepoch uint64
+	elem   int
+}
+
+// Simulator is one configured processor running one program.
+type Simulator struct {
+	cfg  config.Config
+	sim  *stats.Sim
+	mach *emu.Machine
+	strm *emu.Stream
+
+	hier  *mem.Hierarchy
+	ports *mem.Ports
+	pred  *branch.Predictor
+
+	// SDV engine.
+	tl    *core.TL
+	vrmt  *core.VRMT
+	vrf   *core.RegFile
+	jnl   *core.Journal
+	gmrbb uint64
+
+	cycle  uint64
+	halted bool
+
+	// Windows. rob/iq/lsq hold pointers in program order; viq holds vector
+	// instances.
+	rob []*uop
+	iq  []*uop
+	lsq []*uop
+	viq []*vop
+
+	// Front end.
+	fetchBuf        []*uop
+	pending         *emu.DynInst // fetched record waiting for the I-cache
+	fetchReadyAt    uint64
+	fetchStall      *uop // unresolved mispredicted control instruction
+	fetchHalted     bool
+	maxFetchedSeq   uint64 // high-water mark: replayed fetches skip stats
+	hasFetched      bool
+	maxStrideSeq    uint64 // high-water mark for the stride histogram
+	hasStrideSample bool
+
+	// Functional units.
+	pools  [isa.NumFUClasses]*fuPool
+	vpools [isa.NumFUClasses]*fuPool
+
+	// Rename-side state.
+	lastWriter [isa.NumLogicalRegs]*uop
+	vs         [isa.NumLogicalRegs]vsEntry
+	prevCommit [isa.NumLogicalRegs]vref
+
+	// Per-cycle wide-bus merge state: line address -> merge record.
+	merges map[uint64]*mergeState
+
+	// Churn cooldown levels per PC slot (see decode.go).
+	churn [churnSlots]uint8
+
+	// Figure 10 window tracking.
+	postMispredict int
+
+	lastCommitCycle uint64
+}
+
+type mergeState struct {
+	loads  int
+	words  map[uint64]bool
+	at     uint64 // completion cycle of the access
+	vector bool   // issued by a vector load (words accounted via LineUse)
+}
+
+// New builds a simulator for prog under cfg.
+func New(cfg config.Config, prog *isa.Program) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mach, err := emu.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	sim := stats.New()
+	s := &Simulator{
+		cfg:    cfg,
+		sim:    sim,
+		mach:   mach,
+		strm:   emu.NewStream(mach, 0),
+		hier:   mem.NewHierarchy(cfg.Mem, sim),
+		ports:  mem.NewPorts(cfg.MemPorts, cfg.WideBus, sim),
+		pred:   branch.New(cfg.Branch),
+		jnl:    core.NewJournal(),
+		merges: make(map[uint64]*mergeState),
+	}
+	tlSets, vrmtSets, vregs := cfg.TLSets, cfg.VRMTSets, cfg.VectorRegs
+	if cfg.Unbounded {
+		tlSets, vrmtSets, vregs = 0, 0, 0
+	}
+	s.tl = core.NewTL(tlSets, cfg.TLWays, cfg.ConfThreshold)
+	s.vrmt = core.NewVRMT(vrmtSets, cfg.VRMTWays)
+	s.vrf = core.NewRegFile(vregs, cfg.VectorLen, sim)
+
+	s.pools[isa.FUIntALU] = newFUPool(cfg.SimpleInt)
+	s.pools[isa.FUIntMulDiv] = newFUPool(cfg.IntMulDiv)
+	s.pools[isa.FUFPALU] = newFUPool(cfg.SimpleFP)
+	s.pools[isa.FUFPMulDiv] = newFUPool(cfg.FPMulDiv)
+	s.vpools[isa.FUIntALU] = newFUPool(cfg.SimpleInt)
+	s.vpools[isa.FUIntMulDiv] = newFUPool(cfg.IntMulDiv)
+	s.vpools[isa.FUFPALU] = newFUPool(cfg.SimpleFP)
+	s.vpools[isa.FUFPMulDiv] = newFUPool(cfg.FPMulDiv)
+	return s, nil
+}
+
+// Stats returns the statistics collected so far.
+func (s *Simulator) Stats() *stats.Sim { return s.sim }
+
+// Machine exposes the architectural state (tests compare it against a
+// pure functional run).
+func (s *Simulator) Machine() *emu.Machine { return s.mach }
+
+// Cycle returns the current cycle number.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Run simulates until the program halts or maxInsts instructions commit,
+// then finalises statistics. It errors if the pipeline deadlocks.
+func (s *Simulator) Run(maxInsts uint64) (*stats.Sim, error) {
+	const stallGuard = 200_000 // cycles without a commit = deadlock
+	for !s.halted && s.sim.Committed < maxInsts {
+		s.step()
+		if s.cycle-s.lastCommitCycle > stallGuard {
+			return s.sim, fmt.Errorf("pipeline: no commit in %d cycles at cycle %d (%s)",
+				stallGuard, s.cycle, s.cfg.Name)
+		}
+	}
+	s.vrf.Finalize()
+	return s.sim, nil
+}
+
+// step advances one cycle: commit → issue → decode → fetch, so that a
+// result produced in cycle N wakes consumers no earlier than N+1 and port
+// arbitration gives committing stores priority over loads.
+func (s *Simulator) step() {
+	s.ports.BeginCycle(s.cycle)
+	s.flushMerges()
+	s.commit()
+	if !s.halted {
+		s.issueScalar()
+		s.issueVector()
+		s.decode()
+		s.fetch()
+	}
+	s.cycle++
+	s.sim.Cycles = s.cycle
+}
+
+// robFull reports whether dispatch must stall.
+func (s *Simulator) robFull() bool { return len(s.rob) >= s.cfg.ROBSize }
+
+// squash flushes every in-flight instruction with sequence >= fromSeq:
+// decode-side SDV/rename state is rewound through the journal, the stream
+// is repositioned, and the front end restarts after a redirect penalty.
+// Vector instances are not squashed (§3.5, §3.6) unless their destination
+// register allocation itself was rewound (epoch bump aborts them).
+func (s *Simulator) squash(fromSeq uint64) {
+	flushed := 0
+	for _, u := range s.rob {
+		if u.d.Seq >= fromSeq {
+			flushed++
+		}
+	}
+	s.sim.Squashed += uint64(flushed) + uint64(len(s.fetchBuf))
+
+	s.jnl.RewindTo(fromSeq)
+	s.strm.Rewind(fromSeq)
+	s.pending = nil
+
+	s.rob = s.rob[:0]
+	s.iq = s.iq[:0]
+	s.lsq = s.lsq[:0]
+	s.fetchBuf = s.fetchBuf[:0]
+	for i := range s.lastWriter {
+		s.lastWriter[i] = nil
+	}
+
+	// Abort vector instances whose destination allocation was rewound.
+	live := s.viq[:0]
+	for _, v := range s.viq {
+		if !s.vrf.ValidRef(v.vreg, v.vepoch) {
+			v.aborted = true
+			s.unpinSources(v)
+			continue
+		}
+		live = append(live, v)
+	}
+	s.viq = live
+
+	s.fetchStall = nil
+	s.fetchHalted = false
+	if at := s.cycle + uint64(s.cfg.MispredictPenalty); at > s.fetchReadyAt {
+		s.fetchReadyAt = at
+	}
+}
+
+// flushMerges retires completed wide-bus transactions: a line access stays
+// mergeable while it is outstanding (MSHR secondary-miss merging), and its
+// words-used count enters the Figure 13 histogram when the data arrives.
+func (s *Simulator) flushMerges() {
+	if len(s.merges) == 0 {
+		return
+	}
+	for line, m := range s.merges {
+		if m.at > s.cycle {
+			continue
+		}
+		if s.ports.Wide() && !m.vector {
+			s.sim.WideBusWords.Add(len(m.words))
+		}
+		delete(s.merges, line)
+	}
+}
+
+func (s *Simulator) unpinSources(v *vop) {
+	for _, src := range v.srcs {
+		if src.kind == srcVector {
+			s.vrf.Unpin(src.vreg, src.vepoch)
+		}
+	}
+}

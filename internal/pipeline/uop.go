@@ -1,0 +1,177 @@
+// Package pipeline is the cycle-level out-of-order superscalar model —
+// the SimpleScalar-like substrate of the paper's evaluation — extended at
+// decode, issue and commit with the speculative dynamic vectorization
+// engine from internal/core.
+//
+// The model is trace-driven: the functional emulator supplies the
+// committed-path dynamic instruction stream (with effective addresses,
+// branch outcomes and operand values), and this package replays it against
+// real structural, data and memory-system constraints. On a branch
+// misprediction fetch stalls until the branch resolves plus a redirect
+// penalty; wrong-path instructions are not simulated (see DESIGN.md §3 for
+// why this preserves the paper's behaviour). Vector state survives both
+// mispredictions (control independence, §3.5) and store-conflict squashes
+// (§3.6), which rewind decode-side SDV state through the core.Journal and
+// replay the stream.
+package pipeline
+
+import (
+	"specvec/internal/emu"
+	"specvec/internal/isa"
+)
+
+// uopKind distinguishes normal execution from the paper's validation
+// operations.
+type uopKind uint8
+
+const (
+	kindNormal uopKind = iota
+	// kindLoadValidation checks the predicted address of one vector
+	// element instead of accessing memory.
+	kindLoadValidation
+	// kindArithValidation checks recorded source operands instead of
+	// executing on a functional unit.
+	kindArithValidation
+)
+
+// uop is one in-flight dynamic instruction.
+type uop struct {
+	d emu.DynInst
+
+	kind uopKind
+
+	// deps are the in-flight producers of the register sources, aligned
+	// with isa.Inst.SrcRegs order (nil = value already committed/ready).
+	deps [2]*uop
+
+	issued bool
+	doneAt uint64 // result/completion cycle; valid once issued
+
+	// Memory state.
+	inLSQ bool
+
+	// SDV state for validations.
+	vreg     int
+	vepoch   uint64
+	elem     int
+	producer *vop // vector instance producing the awaited element
+	fellBack bool // validation converted to scalar execution
+
+	// Control state.
+	mispredicted  bool  // direction/target prediction was wrong at fetch
+	statsCounted  bool  // fetched before (replay after squash): skip stats
+	blockedCycles uint8 // decode stalls spent waiting for a scalar operand
+}
+
+func (u *uop) completed(cycle uint64) bool { return u.issued && u.doneAt <= cycle }
+
+// depsReady reports whether every register source has its value available.
+func (u *uop) depsReady(cycle uint64) bool {
+	for _, d := range u.deps {
+		if d != nil && !d.completed(cycle) {
+			return false
+		}
+	}
+	return true
+}
+
+// addrReady reports whether a memory op's address operands are available
+// (source 0 is the base register for loads and stores).
+func (u *uop) addrReady(cycle uint64) bool {
+	return u.deps[0] == nil || u.deps[0].completed(cycle)
+}
+
+// dataReady reports whether a store's data operand is available.
+func (u *uop) dataReady(cycle uint64) bool {
+	return u.deps[1] == nil || u.deps[1].completed(cycle)
+}
+
+// isValidation reports whether the uop is a check operation.
+func (u *uop) isValidation() bool {
+	return u.kind == kindLoadValidation || u.kind == kindArithValidation
+}
+
+// wordAddr returns the 8-byte-aligned address of a memory op.
+func (u *uop) wordAddr() uint64 { return u.d.EffAddr &^ uint64(isa.WordBytes-1) }
+
+// vsrc is one source of a vector instance.
+type vsrc struct {
+	kind   isVec
+	vreg   int
+	vepoch uint64
+	start  int // element offset of the source at instance creation (§3.4)
+}
+
+type isVec uint8
+
+const (
+	srcNone isVec = iota
+	srcVector
+	srcReady // scalar or immediate: available from instance creation
+)
+
+// loadGroup is one memory access of a vector load: the elements served by
+// a single bus transaction (a whole line on the wide bus, one element on a
+// scalar bus).
+type loadGroup struct {
+	addr  uint64 // address to access (line-aligned for wide buses)
+	elems []int
+}
+
+// vop is one vector instance in the vector issue queue. Vector instances
+// are not architectural: they occupy no ROB entry, survive branch flushes,
+// and write element R flags with real timing.
+type vop struct {
+	isLoad bool
+	op     isa.Op // latency/pool class for arithmetic instances
+
+	vreg   int
+	vepoch uint64
+
+	destStart int // first element to compute (§3.4)
+	nextElem  int // next element index to schedule (arith)
+
+	srcs [2]vsrc
+
+	vl int // vector length (elements per register)
+
+	// Load state.
+	groups    []loadGroup
+	nextGroup int
+
+	aborted bool
+}
+
+func (v *vop) done() bool {
+	if v.aborted {
+		return true
+	}
+	if v.isLoad {
+		return v.nextGroup >= len(v.groups)
+	}
+	return v.nextElem >= v.vl
+}
+
+// fuPool models one functional-unit pool. Pipelined operations occupy a
+// unit for one cycle; unpipelined ones (divides) hold it for their full
+// latency (Table 1).
+type fuPool struct {
+	units []uint64 // busy-until cycle per unit
+}
+
+func newFUPool(n int) *fuPool { return &fuPool{units: make([]uint64, n)} }
+
+// tryIssue claims a unit at cycle; returns false when all are busy.
+func (p *fuPool) tryIssue(cycle uint64, lat int, pipelined bool) bool {
+	for i, busy := range p.units {
+		if busy <= cycle {
+			if pipelined {
+				p.units[i] = cycle + 1
+			} else {
+				p.units[i] = cycle + uint64(lat)
+			}
+			return true
+		}
+	}
+	return false
+}

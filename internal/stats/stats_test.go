@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(3)
+	h.Add(3)
+	h.Add(9)  // overflow
+	h.Add(-1) // overflow
+	if h.Count(3) != 2 || h.Count(0) != 1 {
+		t.Errorf("counts: %+v", h)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+	if got := h.Fraction(3); got != 0.4 {
+		t.Errorf("fraction(3) = %v, want 0.4", got)
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(adds []uint8) bool {
+		h := NewHistogram(8)
+		for _, a := range adds {
+			h.Add(int(a) % 12)
+		}
+		return h.Total() == uint64(len(adds))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(3), NewHistogram(3)
+	a.Add(0)
+	b.Add(0)
+	b.Add(2)
+	b.Add(5)
+	a.Merge(b)
+	if a.Count(0) != 2 || a.Count(2) != 1 || a.Overflow != 1 {
+		t.Errorf("merged = %+v", a)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	s := New()
+	s.Cycles = 100
+	s.Committed = 250
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	s.PortBusyCycles = 50
+	if got := s.PortOccupancy(2); got != 0.25 {
+		t.Errorf("occupancy = %v", got)
+	}
+	s.LoadValidations, s.ArithValidations = 30, 20
+	if got := s.ValidationFraction(); got != 0.2 {
+		t.Errorf("validation fraction = %v", got)
+	}
+	s.MemAccesses = 125
+	if got := s.MemRequestsPerInst(); got != 0.5 {
+		t.Errorf("mem requests per inst = %v", got)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	s := New()
+	for name, v := range map[string]float64{
+		"IPC":        s.IPC(),
+		"occupancy":  s.PortOccupancy(4),
+		"validation": s.ValidationFraction(),
+		"mispredict": s.BranchMispredictRate(),
+		"controlind": s.ControlIndepFraction(),
+		"offsets":    s.OffsetNonZeroFraction(),
+		"memreq":     s.MemRequestsPerInst(),
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("%s on empty stats = %v, want 0", name, v)
+		}
+	}
+	u, un, nc := s.ElemAverages()
+	if u != 0 || un != 0 || nc != 0 {
+		t.Error("ElemAverages on empty stats non-zero")
+	}
+}
+
+func TestElemAverages(t *testing.T) {
+	s := New()
+	s.VRegsFreed = 4
+	s.ElemsComputedUsed = 7
+	s.ElemsComputedUnused = 8
+	s.ElemsNotComputed = 1
+	u, un, nc := s.ElemAverages()
+	if u != 1.75 || un != 2.0 || nc != 0.25 {
+		t.Errorf("averages = %v/%v/%v", u, un, nc)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean nonpositive = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio div by zero")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4)")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestStringRendersKeyFields(t *testing.T) {
+	s := New()
+	s.Cycles = 10
+	s.Committed = 20
+	out := s.String()
+	for _, want := range []string{"IPC 2.000", "validations", "store conflicts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}

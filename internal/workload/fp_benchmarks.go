@@ -1,0 +1,338 @@
+package workload
+
+import "specvec/internal/isa"
+
+// The SpecFP95 substitute suite (the four programs the paper evaluates:
+// swim, applu, turb3d, fpppp).
+
+func init() {
+	register(Benchmark{
+		Name: "swim",
+		FP:   true,
+		Description: "Shallow-water stencil: multi-stream stride-1 sweeps " +
+			"over several grids with neighbour offsets, unrolled by two " +
+			"(so half the static loads walk at stride 2); loop branches " +
+			"are near-perfectly predicted.",
+		Build: buildSwim,
+	})
+	register(Benchmark{
+		Name: "applu",
+		FP:   true,
+		Description: "SSOR solver: stride-1 relaxation with per-point FP " +
+			"division, plus a blocked pass whose static loads walk at " +
+			"stride 4.",
+		Build: buildApplu,
+	})
+	register(Benchmark{
+		Name: "turb3d",
+		FP:   true,
+		Description: "Turbulence FFT: butterfly stages at strides 1, 2, 4 " +
+			"and 8 (the power-of-two strides of Figure 1) plus an " +
+			"irregular bit-reversal copy.",
+		Build: buildTurb3d,
+	})
+	register(Benchmark{
+		Name: "fpppp",
+		FP:   true,
+		Description: "Quantum chemistry: very large straight-line basic " +
+			"blocks, stride-0 spill reloads, dense FP multiply/add " +
+			"chains with rare divisions; branches almost only close " +
+			"loops.",
+		Build: buildFpppp,
+	})
+}
+
+// buildSwim: unew[i] = u[i] + cu*(v[i+1]-v[i-1]) + cv*(p[i+W]-p[i-W]),
+// unrolled by two.
+func buildSwim(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("swim")
+	r := newRng(seed)
+	const w, n = 64, 4096
+	b.DataFloats("u", r.floats(n+2*w))
+	b.DataFloats("v", r.floats(n+2*w))
+	b.DataFloats("p", r.floats(n+2*w))
+	b.DataFloats("uold", r.floats(n+2*w))
+	b.DataFloats("pold", r.floats(n+2*w))
+	b.DataZero("unew", n+2*w)
+	b.DataFloats("consts", []float64{0.25, 0.125})
+
+	inner := (n - 2*w) / 2
+	perIter := 29
+	reps := clampScale(scale, 1) / (inner * perIter)
+	reps = clampScale(reps, 1)
+
+	outer(b, "tstep", reps, func() {
+		b.LoadAddr(ri(1), "u")
+		b.LoadAddr(ri(2), "v")
+		b.LoadAddr(ri(3), "p")
+		b.LoadAddr(ri(4), "unew")
+		b.LoadAddr(ri(8), "uold")
+		b.LoadAddr(ri(9), "pold")
+		b.LoadAddr(ri(5), "consts")
+		b.Ldf(rf(10), ri(5), 0) // cu
+		b.Ldf(rf(11), ri(5), 8) // cv
+		// Start after the halo.
+		b.Addi(ri(1), ri(1), w*8)
+		b.Addi(ri(2), ri(2), w*8)
+		b.Addi(ri(3), ri(3), w*8)
+		b.Addi(ri(4), ri(4), w*8)
+		b.Addi(ri(8), ri(8), w*8)
+		b.Addi(ri(9), ri(9), w*8)
+		b.Li(ri(6), 0)
+		b.Li(ri(7), int64(inner))
+		b.Label("sweep")
+		// Unrolled iteration 0: every load below advances by 16 per trip
+		// (stride 2 elements). Real swim touches six grids per point, so
+		// the loop is load-dominated.
+		b.Ldf(rf(1), ri(1), 0)
+		b.Ldf(rf(2), ri(2), 8)
+		b.Ldf(rf(3), ri(2), -8)
+		b.Ldf(rf(4), ri(3), w*8)
+		b.Ldf(rf(5), ri(3), -w*8)
+		b.Ldf(rf(12), ri(8), 0)
+		b.Ldf(rf(13), ri(9), 0)
+		b.Fsub(rf(6), rf(2), rf(3))
+		b.Fsub(rf(7), rf(4), rf(5))
+		b.Fmul(rf(6), rf(6), rf(10))
+		b.Fmul(rf(7), rf(7), rf(11))
+		b.Fadd(rf(8), rf(1), rf(6))
+		b.Fadd(rf(8), rf(8), rf(7))
+		b.Fadd(rf(8), rf(8), rf(12))
+		b.Stf(rf(8), ri(4), 0)
+		// Unrolled iteration 1.
+		b.Ldf(rf(1), ri(1), 8)
+		b.Ldf(rf(2), ri(2), 16)
+		b.Ldf(rf(14), ri(8), 8)
+		b.Fsub(rf(6), rf(2), rf(1))
+		b.Fmul(rf(6), rf(6), rf(10))
+		b.Fadd(rf(8), rf(6), rf(1))
+		b.Fadd(rf(8), rf(8), rf(13))
+		b.Fadd(rf(8), rf(8), rf(14))
+		b.Stf(rf(8), ri(4), 8)
+		b.Addi(ri(1), ri(1), 16)
+		b.Addi(ri(2), ri(2), 16)
+		b.Addi(ri(3), ri(3), 16)
+		b.Addi(ri(4), ri(4), 16)
+		b.Addi(ri(8), ri(8), 16)
+		b.Addi(ri(9), ri(9), 16)
+		b.Addi(ri(6), ri(6), 1)
+		b.Blt(ri(6), ri(7), "sweep")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildApplu: a relaxation loop with an FP divide on the critical path and
+// a blocked pass at stride 4.
+func buildApplu(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("applu")
+	r := newRng(seed)
+	// Working set ~4x64KB: resident in L2 but not L1, like the real
+	// program's grids relative to its caches.
+	const n = 8192
+	b.DataFloats("a", r.floats(n+8))
+	b.DataFloats("c", r.floats(n+8)) // strictly positive: safe divisor
+	b.DataFloats("x", r.floats(n+8))
+	b.DataFloats("omega", []float64{1.2})
+	b.DataZero("d", n+8)
+
+	perIter := 18
+	blocked := n / 4
+	perBlocked := 8
+	perPass := n*perIter + blocked*perBlocked
+	reps := clampScale(scale, 1) / perPass
+	reps = clampScale(reps, 1)
+
+	outer(b, "ssor", reps, func() {
+		// Relaxation: d[i] = (a[i]*x[i] + x[i+1]) * rc[i], with a true
+		// division only at block pivots (every 8th point), like the
+		// factored solver.
+		b.LoadAddr(ri(1), "a")
+		b.LoadAddr(ri(2), "c")
+		b.LoadAddr(ri(3), "x")
+		b.LoadAddr(ri(4), "d")
+		b.LoadAddr(ri(12), "omega")
+		b.Li(ri(5), 0)
+		b.Li(ri(6), n)
+		b.Li(ri(10), 7)
+		b.Label("relax")
+		b.Ldf(rf(9), ri(12), 0) // omega relaxation factor (stride 0)
+		b.Ldf(rf(1), ri(1), 0)
+		b.Ldf(rf(2), ri(3), 0)
+		b.Ldf(rf(3), ri(3), 8)
+		b.Ldf(rf(4), ri(2), 0)
+		b.Fmul(rf(5), rf(1), rf(2))
+		b.Fadd(rf(5), rf(5), rf(3))
+		b.Fmul(rf(5), rf(5), rf(9))
+		b.Fmul(rf(6), rf(5), rf(4))
+		b.Andi(ri(11), ri(5), 7)
+		b.Bne(ri(11), ri(10), "nopivot")
+		b.Fdiv(rf(6), rf(5), rf(4)) // pivot division
+		b.Label("nopivot")
+		b.Stf(rf(6), ri(4), 0)
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(2), ri(2), 8)
+		b.Addi(ri(3), ri(3), 8)
+		b.Addi(ri(4), ri(4), 8)
+		b.Addi(ri(5), ri(5), 1)
+		b.Blt(ri(5), ri(6), "relax")
+
+		// Blocked pass: accumulate every fourth element (stride 4).
+		b.LoadAddr(ri(7), "d")
+		b.Li(ri(8), 0)
+		b.Li(ri(9), int64(blocked))
+		b.Fmov(rf(7), rf(6))
+		b.Label("blockp")
+		b.Ldf(rf(8), ri(7), 0)
+		b.Fadd(rf(7), rf(7), rf(8))
+		b.Addi(ri(7), ri(7), 32)
+		b.Addi(ri(8), ri(8), 1)
+		b.Blt(ri(8), ri(9), "blockp")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildTurb3d: four butterfly stages with strides 1, 2, 4 and 8, each its
+// own loop (so each static load has a constant power-of-two stride), plus
+// an irregular bit-reversal gather.
+func buildTurb3d(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("turb3d")
+	r := newRng(seed)
+	// Large enough that the butterfly passes stream from L2.
+	const n = 8192
+	b.DataFloats("re", r.floats(n+16))
+	b.DataFloats("im", r.floats(n+16))
+	b.DataFloats("tw", r.floats(64))
+	b.DataZero("outre", n+16)
+	// Precomputed bit-reversed indices (byte offsets).
+	rev := make([]uint64, 256)
+	for i := range rev {
+		x := uint64(i)
+		x = (x&0xAA)>>1 | (x&0x55)<<1
+		x = (x&0xCC)>>2 | (x&0x33)<<2
+		x = (x&0xF0)>>4 | (x&0x0F)<<4
+		rev[i] = x * 8
+	}
+	b.DataWords("rev", rev)
+
+	stages := []struct {
+		label  string
+		stride int64
+		trips  int
+	}{
+		{"s1", 8, n / 2},
+		{"s2", 16, n / 4},
+		{"s4", 32, n / 8},
+		{"s8", 64, n / 16},
+	}
+	perPass := 0
+	for _, st := range stages {
+		perPass += st.trips * 12
+	}
+	perPass += 256 * 7
+	reps := clampScale(scale, 1) / perPass
+	reps = clampScale(reps, 1)
+
+	outer(b, "fft", reps, func() {
+		for _, st := range stages {
+			b.LoadAddr(ri(1), "re")
+			b.LoadAddr(ri(2), "im")
+			b.LoadAddr(ri(3), "tw")
+			b.Li(ri(4), 0)
+			b.Li(ri(5), int64(st.trips))
+			b.Label(st.label)
+			b.Ldf(rf(10), ri(3), 0) // twiddle reload (stride 0)
+			b.Ldf(rf(1), ri(1), 0)
+			b.Ldf(rf(2), ri(1), st.stride)
+			b.Ldf(rf(3), ri(2), 0)
+			b.Fmul(rf(4), rf(2), rf(10))
+			b.Fadd(rf(5), rf(1), rf(4))
+			b.Fsub(rf(6), rf(1), rf(4))
+			b.Stf(rf(5), ri(1), 0)
+			b.Fadd(rf(3), rf(3), rf(6))
+			b.Addi(ri(1), ri(1), 2*st.stride)
+			b.Addi(ri(2), ri(2), 2*st.stride)
+			b.Addi(ri(4), ri(4), 1)
+			b.Blt(ri(4), ri(5), st.label)
+		}
+		// Bit-reversal gather: the data loads are index-driven and
+		// irregular (no constant stride).
+		b.LoadAddr(ri(6), "rev")
+		b.LoadAddr(ri(7), "re")
+		b.LoadAddr(ri(8), "outre")
+		b.Li(ri(9), 0)
+		b.Li(ri(10), 256)
+		b.Label("brv")
+		b.Ld(ri(11), ri(6), 0) // index (stride 1)
+		b.Add(ri(12), ri(7), ri(11))
+		b.Ldf(rf(1), ri(12), 0) // gathered: irregular
+		b.Stf(rf(1), ri(8), 0)
+		b.Addi(ri(6), ri(6), 8)
+		b.Addi(ri(8), ri(8), 8)
+		b.Addi(ri(9), ri(9), 1)
+		b.Blt(ri(9), ri(10), "brv")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildFpppp: one enormous straight-line basic block per iteration,
+// dominated by FP multiply/add chains over stride-1 integral data plus
+// stride-0 reloads of spilled coefficients; a single divide per block.
+func buildFpppp(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("fpppp")
+	r := newRng(seed)
+	const n = 1024
+	b.DataFloats("ints", r.floats(n+64))
+	b.DataFloats("spill", r.floats(16)) // read-mostly spill slots
+	b.DataZero("fock", n+64)
+
+	// Big unrolled block: 16 groups of ~18 instructions.
+	const groups = 16
+	perIter := groups*18 + 12
+	reps := clampScale(scale, 1) / ((n / groups) * perIter)
+	reps = clampScale(reps, 1)
+
+	outer(b, "scf", reps, func() {
+		b.LoadAddr(ri(1), "ints")
+		b.LoadAddr(ri(2), "spill")
+		b.LoadAddr(ri(3), "fock")
+		b.Li(ri(4), 0)
+		b.Li(ri(5), n/groups)
+		b.Label("block")
+		for g := 0; g < groups; g++ {
+			off := int64(g * 8)
+			sp := int64((g % 4) * 8)
+			// Stride-0 spill reload: the same slot every iteration.
+			b.Ldf(rf(1), ri(2), sp)
+			b.Ldf(rf(2), ri(1), off)
+			b.Ldf(rf(3), ri(1), off+8)
+			b.Fmul(rf(4), rf(2), rf(1))
+			b.Fmul(rf(5), rf(3), rf(3))
+			b.Fadd(rf(6), rf(4), rf(5))
+			b.Fmul(rf(7), rf(6), rf(1))
+			b.Fadd(rf(8), rf(7), rf(4))
+			b.Fsub(rf(9), rf(8), rf(5))
+			b.Fmul(rf(9), rf(9), rf(2))
+			// The fock contribution combines two vectorizable operands
+			// (the integral load and the spill reload); the long scalar
+			// chain in rf(9) accumulates separately so vectorized
+			// instructions rarely wait on a not-ready scalar register.
+			b.Ldf(rf(11), ri(3), off)
+			b.Fadd(rf(11), rf(11), rf(4))
+			b.Stf(rf(11), ri(3), off)
+			b.Fadd(rf(15), rf(15), rf(9)) // running scalar energy
+		}
+		// One division and a spill-slot refresh per block (rare stores
+		// into the stride-0 ranges: §3.6 conflicts at a low rate).
+		b.Fdiv(rf(12), rf(15), rf(1))
+		b.Stf(rf(12), ri(2), 120) // slot 15: not reloaded in the block
+		b.Addi(ri(1), ri(1), groups*8)
+		b.Addi(ri(3), ri(3), groups*8)
+		b.Addi(ri(4), ri(4), 1)
+		b.Blt(ri(4), ri(5), "block")
+	})
+	b.Halt()
+	return b.MustBuild()
+}

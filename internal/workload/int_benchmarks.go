@@ -1,0 +1,665 @@
+package workload
+
+import "specvec/internal/isa"
+
+// The SpecInt95 substitute suite. Each generator documents the behaviour
+// of the real program it stands in for and how that maps onto the
+// mechanism-relevant characteristics: stride mix (Figure 1), branch
+// predictability, instruction mix and store/vector-range conflicts (§3.6).
+
+func init() {
+	register(Benchmark{
+		Name: "go",
+		Description: "Game-playing program: board-array scans with " +
+			"neighbour offsets (stride 1), data-dependent evaluation " +
+			"branches with poor predictability, irregular pattern-table " +
+			"probes.",
+		Build: buildGo,
+	})
+	register(Benchmark{
+		Name: "m88ksim",
+		Description: "Microprocessor simulator: fetch/decode/execute loop " +
+			"over an instruction image (stride 1), opcode dispatch trees, " +
+			"register-file and counter updates (stride 0).",
+		Build: buildM88ksim,
+	})
+	register(Benchmark{
+		Name: "gcc",
+		Description: "Compiler: many distinct phases over IR arrays and " +
+			"hashed symbol tables; large static code footprint, stride-0 " +
+			"globals, irregular probes.",
+		Build: buildGcc,
+	})
+	register(Benchmark{
+		Name: "compress",
+		Description: "LZW compression: stride-1 input stream, " +
+			"data-dependent hash-table probes with effectively random " +
+			"addresses (many useless speculative fetches), unpredictable " +
+			"hit/miss branches.",
+		Build: buildCompress,
+	})
+	register(Benchmark{
+		Name: "li",
+		Description: "Lisp interpreter: cons-cell list walks (pointer " +
+			"chasing that is stride 16 over a contiguous heap), explicit " +
+			"evaluation stack (stride 0/8), occasional destructive list " +
+			"updates that hit prefetched ranges.",
+		Build: buildLi,
+	})
+	register(Benchmark{
+		Name: "ijpeg",
+		Description: "Image compression: 8x8 block transforms with row " +
+			"(stride 1) and column (stride 8) passes, quantisation table " +
+			"lookups, saturating clamps; arithmetic-dense and highly " +
+			"vectorizable.",
+		Build: buildIjpeg,
+	})
+	register(Benchmark{
+		Name: "perl",
+		Description: "Interpreter: bytecode dispatch loop with a biased " +
+			"branch tree, operand stack traffic, string hashing (stride " +
+			"1) and hashed table probes.",
+		Build: buildPerl,
+	})
+	register(Benchmark{
+		Name: "vortex",
+		Description: "Object-oriented database: record walks with " +
+			"struct-sized strides (stride 8), field validation with " +
+			"well-predicted branches, memcpy-like copies, occasional " +
+			"in-place record updates (store/range conflicts).",
+		Build: buildVortex,
+	})
+}
+
+// buildGo: evaluation sweeps over a 19x19 board plus a pattern-matcher
+// with irregular indices. Roughly 24 dynamic instructions per inner
+// iteration; branch outcomes depend on pseudo-random board data.
+func buildGo(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("go")
+	r := newRng(seed)
+	const bw = 19
+	board := r.words(bw*bw+2*bw, 4) // cell states 0..3
+	b.DataWords("board", board)
+	b.DataWords("patterns", r.words(512, 1<<32))
+	b.DataWords("locals", []uint64{3, 11})
+	b.DataZero("score", 4)
+
+	inner := bw*bw - 2*bw
+	perIter := 26
+	reps := clampScale(scale, 1) / (inner * perIter)
+	reps = clampScale(reps, 1)
+
+	outer(b, "game", reps, func() {
+		// Phase 1: liberty scan. Five neighbour loads per point share the
+		// base register: each static load walks the board with stride 1.
+		b.LoadAddr(ri(1), "board")
+		b.Addi(ri(1), ri(1), bw*8) // skip first row
+		b.Li(ri(2), 0)
+		b.Li(ri(3), int64(inner))
+		b.Li(ri(4), 0) // liberties accumulator
+		b.LoadAddr(ri(25), "locals")
+		b.Label("scan")
+		b.Ld(ri(23), ri(25), 0)      // urgency weight (local: stride 0)
+		b.Ld(ri(24), ri(25), 8)      // ko threshold  (local: stride 0)
+		b.Ld(ri(5), ri(1), 0)        // point
+		b.Ld(ri(6), ri(1), 8)        // east
+		b.Ld(ri(7), ri(1), -8)       // west
+		b.Ld(ri(8), ri(1), bw*8)     // south
+		b.Ld(ri(9), ri(1), -bw*8)    // north
+		b.Beq(ri(5), rZero, "empty") // data-dependent: ~25% taken
+		b.Add(ri(10), ri(6), ri(7))
+		b.Add(ri(11), ri(8), ri(9))
+		b.Add(ri(12), ri(10), ri(11))
+		b.Slt(ri(13), ri(12), ri(23)) // few liberties?
+		b.Beq(ri(13), rZero, "safe")
+		b.Add(ri(4), ri(4), ri(24)) // urgent point
+		b.J("next")
+		b.Label("safe")
+		b.Addi(ri(4), ri(4), 1)
+		b.J("next")
+		b.Label("empty")
+		b.Sub(ri(4), ri(4), ri(5))
+		b.Label("next")
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(2), ri(2), 1)
+		b.Blt(ri(2), ri(3), "scan")
+
+		// Phase 2: pattern probes with data-derived indices (irregular
+		// stride: these loads never gain TL confidence).
+		b.LoadAddr(ri(14), "patterns")
+		b.Li(ri(15), 0)
+		b.Li(ri(16), 96)
+		b.Andi(ri(17), ri(4), 511)
+		b.Label("probe")
+		b.Slli(ri(18), ri(17), 3)
+		b.Add(ri(19), ri(14), ri(18))
+		b.Ld(ri(20), ri(19), 0)
+		b.Xor(ri(17), ri(17), ri(20))
+		b.Andi(ri(17), ri(17), 511)
+		b.Addi(ri(15), ri(15), 1)
+		b.Blt(ri(15), ri(16), "probe")
+
+		// Fold the scores into a global (stride-0 read-modify-write, kept
+		// rare: once per outer iteration).
+		b.LoadAddr(ri(21), "score")
+		b.Ld(ri(22), ri(21), 0)
+		b.Add(ri(22), ri(22), ri(4))
+		b.St(ri(22), ri(21), 0)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildM88ksim: a fetch/decode/execute loop over a synthetic instruction
+// image; dispatch is a short biased branch tree; the simulated register
+// file and cycle counters are stride-0 traffic.
+func buildM88ksim(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("m88ksim")
+	r := newRng(seed)
+	const ilen = 2048
+	// Packed "instructions": low 2 bits opcode (biased), next bits operands.
+	img := make([]uint64, ilen)
+	for i := range img {
+		w := r.next()
+		op := w % 8 // 0..3 with bias below
+		if op > 3 {
+			op = 0 // ~60% opcode 0
+		}
+		img[i] = op | (w>>3)<<2
+	}
+	b.DataWords("image", img)
+	b.DataZero("regfile", 32)
+	b.DataWords("cpustate", []uint64{0x400000, 0x13}) // simulated PC, PSW
+	b.DataZero("counters", 4)
+
+	perIter := 24
+	reps := clampScale(scale, 1) / (ilen * perIter)
+	reps = clampScale(reps, 1)
+
+	outer(b, "sim", reps, func() {
+		b.LoadAddr(ri(1), "image")
+		b.LoadAddr(ri(2), "regfile")
+		b.LoadAddr(ri(3), "counters")
+		b.Li(ri(4), 0)
+		b.Li(ri(5), ilen)
+		b.LoadAddr(ri(13), "cpustate")
+		b.Label("fde")
+		b.Ld(ri(14), ri(13), 0) // simulated PC (stride 0)
+		b.Ld(ri(15), ri(13), 8) // simulated PSW (stride 0)
+		b.Ld(ri(6), ri(1), 0)   // fetch (stride 1)
+		b.Andi(ri(7), ri(6), 3)
+		b.Srli(ri(8), ri(6), 2)
+		b.Andi(ri(9), ri(8), 31) // dest reg index
+		b.Slli(ri(9), ri(9), 3)
+		b.Add(ri(9), ri(9), ri(2))
+		// Dispatch tree (biased: op0 60%, others data-dependent).
+		b.Beq(ri(7), rZero, "op0")
+		b.Slti(ri(10), ri(7), 2)
+		b.Bne(ri(10), rZero, "op1")
+		b.Slti(ri(10), ri(7), 3)
+		b.Bne(ri(10), rZero, "op2")
+		// op3: multiply
+		b.Ld(ri(11), ri(9), 0)
+		b.Mul(ri(11), ri(11), ri(8))
+		b.St(ri(11), ri(9), 0)
+		b.J("retire")
+		b.Label("op0") // add immediate
+		b.Ld(ri(11), ri(9), 0)
+		b.Add(ri(11), ri(11), ri(8))
+		b.St(ri(11), ri(9), 0)
+		b.J("retire")
+		b.Label("op1") // logical
+		b.Ld(ri(11), ri(9), 0)
+		b.Xor(ri(11), ri(11), ri(8))
+		b.St(ri(11), ri(9), 0)
+		b.J("retire")
+		b.Label("op2") // shift
+		b.Ld(ri(11), ri(9), 0)
+		b.Srli(ri(11), ri(11), 1)
+		b.St(ri(11), ri(9), 0)
+		b.Label("retire")
+		b.Add(ri(15), ri(15), ri(14)) // fold CPU state into flags
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(4), ri(4), 1)
+		b.Blt(ri(4), ri(5), "fde")
+		// Cycle counter (stride-0 RMW once per image pass).
+		b.Ld(ri(12), ri(3), 0)
+		b.Add(ri(12), ri(12), ri(4))
+		b.St(ri(12), ri(3), 0)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGcc: four small compiler-like phases with distinct access
+// behaviour and a comparatively large amount of static code, repeated.
+func buildGcc(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("gcc")
+	r := newRng(seed)
+	const n = 1024
+	b.DataWords("tokens", r.words(n, 64))
+	b.DataWords("ir", r.words(2*n, 1<<20))
+	b.DataWords("symtab", r.words(512, 1<<30))
+	b.DataWords("globals", []uint64{17, 29})
+	b.DataZero("live", n/8)
+	b.DataZero("out", 2*n)
+
+	perPass := n*9 + n*9 + (n/2)*10 + (n/8)*7
+	reps := clampScale(scale, 1) / perPass
+	reps = clampScale(reps, 1)
+
+	outer(b, "compile", reps, func() {
+		// Lex: classify tokens (stride 1, data-dependent branch).
+		b.LoadAddr(ri(1), "tokens")
+		b.Li(ri(2), 0)
+		b.Li(ri(3), n)
+		b.Li(ri(4), 0)
+		b.LoadAddr(ri(25), "globals")
+		b.Label("lex")
+		b.Ld(ri(26), ri(25), 0) // language flags (stride 0)
+		b.Ld(ri(5), ri(1), 0)
+		b.Slt(ri(6), ri(5), ri(26))
+		b.Beq(ri(6), rZero, "ident")
+		b.Addi(ri(4), ri(4), 1)
+		b.Label("ident")
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(2), ri(2), 1)
+		b.Blt(ri(2), ri(3), "lex")
+
+		// Fold: walk IR two words at a time (stride 2), simplify.
+		b.LoadAddr(ri(7), "ir")
+		b.LoadAddr(ri(8), "out")
+		b.Li(ri(9), 0)
+		b.Li(ri(10), n)
+		b.Label("fold")
+		b.Ld(ri(11), ri(7), 0)
+		b.Ld(ri(12), ri(7), 8)
+		b.Add(ri(13), ri(11), ri(12))
+		b.St(ri(13), ri(8), 0)
+		b.Addi(ri(7), ri(7), 16)
+		b.Addi(ri(8), ri(8), 8)
+		b.Addi(ri(9), ri(9), 1)
+		b.Blt(ri(9), ri(10), "fold")
+
+		// Symbol probes: hashed, irregular addresses.
+		b.LoadAddr(ri(14), "symtab")
+		b.Li(ri(15), 0)
+		b.Li(ri(16), n/2)
+		b.Andi(ri(17), ri(4), 255)
+		b.Label("sym")
+		b.Ld(ri(27), ri(25), 8) // obstack base (stride 0)
+		b.Slli(ri(18), ri(17), 3)
+		b.Add(ri(19), ri(14), ri(18))
+		b.Ld(ri(20), ri(19), 0)
+		b.Add(ri(17), ri(17), ri(20))
+		b.Add(ri(17), ri(17), ri(27))
+		b.Andi(ri(17), ri(17), 255)
+		b.Addi(ri(15), ri(15), 1)
+		b.Blt(ri(15), ri(16), "sym")
+
+		// Liveness: word-wise bitset OR (stride 1 RMW over a small array;
+		// the stores chase the loads and occasionally hit prefetched
+		// ranges, like real dataflow iteration).
+		b.LoadAddr(ri(21), "live")
+		b.Li(ri(22), 0)
+		b.Li(ri(23), n/8)
+		b.Label("livel")
+		b.Ld(ri(24), ri(21), 0)
+		b.Or(ri(24), ri(24), ri(17))
+		b.St(ri(24), ri(21), 0)
+		b.Addi(ri(21), ri(21), 8)
+		b.Addi(ri(22), ri(22), 1)
+		b.Blt(ri(22), ri(23), "livel")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildCompress: rolling hash over a stride-1 input with data-dependent
+// probes into a large table — the probe addresses are effectively random,
+// so speculative wide-bus fetches are mostly useless (the paper singles
+// compress out for exactly this).
+func buildCompress(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("compress")
+	r := newRng(seed)
+	const n, tab = 4096, 8192
+	b.DataWords("input", r.words(n, 256))
+	b.DataWords("table", r.words(tab, 1<<40))
+	b.DataWords("globals", []uint64{4096, 77}) // maxcode, ratio
+	b.DataZero("output", n)
+
+	perIter := 21
+	reps := clampScale(scale, 1) / (n * perIter)
+	reps = clampScale(reps, 1)
+
+	outer(b, "pass", reps, func() {
+		b.LoadAddr(ri(1), "input")
+		b.LoadAddr(ri(2), "table")
+		b.LoadAddr(ri(3), "output")
+		b.Li(ri(4), 0)
+		b.Li(ri(5), n)
+		b.Li(ri(6), 1) // prefix code
+		b.LoadAddr(ri(11), "globals")
+		b.Label("code")
+		b.Ld(ri(12), ri(11), 0) // maxcode (stride 0)
+		b.Ld(ri(13), ri(11), 8) // ratio   (stride 0)
+		b.Ld(ri(7), ri(1), 0)   // input byte (stride 1)
+		b.Slli(ri(8), ri(7), 5)
+		b.Xor(ri(8), ri(8), ri(6))
+		b.Andi(ri(8), ri(8), tab-1) // hash
+		b.Slli(ri(9), ri(8), 3)
+		b.Add(ri(9), ri(9), ri(2))
+		b.Ld(ri(10), ri(9), 0) // probe: effectively random address
+		b.Beq(ri(10), ri(7), "hit")
+		// miss: emit code, update prefix (the common path).
+		b.St(ri(6), ri(3), 0)
+		b.Addi(ri(3), ri(3), 8)
+		b.Addi(ri(6), ri(6), 1)
+		b.Andi(ri(6), ri(6), 4095)
+		b.J("adv")
+		b.Label("hit")
+		b.Add(ri(6), ri(6), ri(10))
+		b.Andi(ri(6), ri(6), 4095)
+		b.Label("adv")
+		b.Add(ri(13), ri(13), ri(12)) // in-register ratio update
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(4), ri(4), 1)
+		b.Blt(ri(4), ri(5), "code")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildLi: walks contiguous cons cells (car/cdr pairs), so the "pointer
+// chase" is a stride-16 pattern the TL can learn; an evaluation stack adds
+// stride-0/8 traffic and a rare destructive update phase stores into
+// recently prefetched cells.
+func buildLi(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("li")
+	r := newRng(seed)
+	const cells = 2048
+	heap := make([]uint64, 2*cells)
+	base := uint64(isa.DataBase)
+	for i := 0; i < cells; i++ {
+		heap[2*i] = r.next() % 1000 // car: small value
+		if i < cells-1 {
+			heap[2*i+1] = base + uint64((i+1)*16) // cdr: next cell
+		}
+	}
+	b.DataWords("heap", heap) // first data block: lands at DataBase
+	b.DataWords("env", []uint64{500})
+	b.DataZero("stack", 256)
+
+	perWalk := cells * 11
+	reps := clampScale(scale, 1) / perWalk
+	reps = clampScale(reps, 1)
+
+	outer(b, "eval", reps, func() {
+		b.LoadAddr(ri(1), "heap") // current cell
+		b.LoadAddr(ri(2), "stack")
+		b.Li(ri(3), 0) // sum
+		b.Li(ri(4), 0)
+		b.Li(ri(5), cells-1)
+		b.LoadAddr(ri(15), "env")
+		b.Label("walk")
+		b.Ld(ri(16), ri(15), 0) // environment (stride 0)
+		b.Ld(ri(6), ri(1), 0)   // car (stride 16)
+		b.Ld(ri(7), ri(1), 8)   // cdr (stride 16)
+		b.Slt(ri(8), ri(6), ri(16))
+		b.Beq(ri(8), rZero, "big") // ~50/50 data-dependent
+		b.Add(ri(3), ri(3), ri(6))
+		b.J("cont")
+		b.Label("big")
+		b.St(ri(6), ri(2), 0) // push on eval stack
+		b.Sub(ri(3), ri(3), ri(6))
+		b.Label("cont")
+		b.Add(ri(1), ri(7), rZero) // follow cdr
+		b.Addi(ri(4), ri(4), 1)
+		b.Blt(ri(4), ri(5), "walk")
+
+		// Rare destructive update: rewrite a handful of cars near the
+		// front of the heap (stores landing inside prefetched ranges).
+		b.LoadAddr(ri(9), "heap")
+		b.Li(ri(10), 0)
+		b.Li(ri(11), 8)
+		b.Label("mutate")
+		b.Ld(ri(12), ri(9), 0)
+		b.Addi(ri(12), ri(12), 1)
+		b.St(ri(12), ri(9), 0)
+		b.Addi(ri(9), ri(9), 16)
+		b.Addi(ri(10), ri(10), 1)
+		b.Blt(ri(10), ri(11), "mutate")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildIjpeg: 8x8 block transform: a stride-1 row pass, a stride-8 column
+// pass, quantisation against a table, and a saturating clamp. Arithmetic
+// dominates; branches are ~90% predictable.
+func buildIjpeg(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("ijpeg")
+	r := newRng(seed)
+	const blocks = 48
+	b.DataWords("pix", r.words(blocks*64, 256))
+	b.DataWords("quant", r.words(64, 31))
+	b.DataZero("coef", blocks*64)
+
+	perBlock := 64*7 + 64*8 + 64*10
+	reps := clampScale(scale, 1) / (blocks * perBlock)
+	reps = clampScale(reps, 1)
+
+	outer(b, "frame", reps, func() {
+		b.LoadAddr(ri(1), "pix")
+		b.LoadAddr(ri(2), "coef")
+		b.Li(ri(3), 0)
+		b.Li(ri(4), blocks)
+		b.Label("block")
+
+		// Row pass: stride-1 smoothing into coef.
+		b.Li(ri(5), 0)
+		b.Li(ri(6), 63)
+		b.Label("rows")
+		b.Ld(ri(7), ri(1), 0)
+		b.Ld(ri(8), ri(1), 8)
+		b.Add(ri(9), ri(7), ri(8))
+		b.St(ri(9), ri(2), 0)
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(2), ri(2), 8)
+		b.Addi(ri(5), ri(5), 1)
+		b.Blt(ri(5), ri(6), "rows")
+		b.Addi(ri(1), ri(1), 8) // finish the block
+		b.Addi(ri(2), ri(2), 8)
+
+		// Column pass over the coef block just written: stride 8.
+		b.Addi(ri(10), ri(2), -512) // back to block start
+		b.Li(ri(5), 0)
+		b.Li(ri(6), 56)
+		b.Label("cols")
+		b.Ld(ri(7), ri(10), 0)
+		b.Ld(ri(8), ri(10), 64) // next row, same column
+		b.Sub(ri(9), ri(7), ri(8))
+		b.Sra(ri(9), ri(9), rZero)
+		b.Mul(ri(11), ri(9), ri(9))
+		b.Addi(ri(10), ri(10), 8)
+		b.Addi(ri(5), ri(5), 1)
+		b.Blt(ri(5), ri(6), "cols")
+
+		// Quantise (fixed-point reciprocal multiply, as libjpeg does) and
+		// clamp; the saturation branch is rarely taken.
+		b.Addi(ri(10), ri(2), -512)
+		b.LoadAddr(ri(12), "quant")
+		b.Li(ri(5), 0)
+		b.Li(ri(6), 64)
+		b.Label("quantl")
+		b.Ld(ri(7), ri(10), 0)
+		b.Ld(ri(8), ri(12), 0)
+		b.Addi(ri(8), ri(8), 1)
+		b.Mul(ri(9), ri(7), ri(8))
+		b.Srai(ri(9), ri(9), 5)
+		b.Slti(ri(13), ri(9), 1<<40)
+		b.Bne(ri(13), rZero, "noclamp")
+		b.Li(ri(9), (1<<40)-1)
+		b.Label("noclamp")
+		b.St(ri(9), ri(10), 0)
+		b.Addi(ri(10), ri(10), 8)
+		b.Addi(ri(12), ri(12), 8)
+		b.Addi(ri(5), ri(5), 1)
+		b.Blt(ri(5), ri(6), "quantl")
+		b.LoadAddr(ri(12), "quant") // reset table cursor
+
+		b.Addi(ri(3), ri(3), 1)
+		b.Blt(ri(3), ri(4), "block")
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildPerl: a bytecode dispatch loop (biased branch tree over op kinds),
+// operand-stack pushes/pops, and a string-hashing phase.
+func buildPerl(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("perl")
+	r := newRng(seed)
+	const prog, str = 1024, 512
+	ops := make([]uint64, prog)
+	for i := range ops {
+		w := r.next()
+		op := w % 16
+		if op > 4 {
+			op %= 2 // bias towards push/add
+		}
+		ops[i] = op | (w>>8)<<4
+	}
+	b.DataWords("ops", ops)
+	b.DataWords("str", r.words(str, 128))
+	b.DataZero("stk", 512)
+	b.DataWords("interp", []uint64{1, 8})
+	b.DataZero("hashtab", 256)
+
+	perIter := prog*16 + str*8
+	reps := clampScale(scale, 1) / perIter
+	reps = clampScale(reps, 1)
+
+	outer(b, "interp", reps, func() {
+		b.LoadAddr(ri(1), "ops")
+		b.LoadAddr(ri(2), "stk")
+		b.Li(ri(3), 0)
+		b.Li(ri(4), prog)
+		b.Li(ri(5), 0) // top-of-stack value cached in a register
+		b.LoadAddr(ri(20), "interp")
+		b.Label("dispatch")
+		b.Ld(ri(21), ri(20), 0) // curcop (stride 0)
+		b.Ld(ri(22), ri(20), 8) // stack base (stride 0)
+		b.Ld(ri(6), ri(1), 0)
+		b.Andi(ri(7), ri(6), 15)
+		b.Srli(ri(8), ri(6), 4)
+		b.Beq(ri(7), rZero, "push")
+		b.Slti(ri(9), ri(7), 2)
+		b.Bne(ri(9), rZero, "addop")
+		b.Slti(ri(9), ri(7), 4)
+		b.Bne(ri(9), rZero, "cmp")
+		// call-ish: spill top of stack
+		b.St(ri(5), ri(2), 0)
+		b.Addi(ri(2), ri(2), 8)
+		b.J("advance")
+		b.Label("push")
+		b.Add(ri(5), ri(8), rZero)
+		b.J("advance")
+		b.Label("addop")
+		b.Add(ri(5), ri(5), ri(8))
+		b.J("advance")
+		b.Label("cmp")
+		b.Slt(ri(5), ri(5), ri(8))
+		b.Label("advance")
+		b.Add(ri(5), ri(5), ri(21))
+		b.Xor(ri(5), ri(5), ri(22))
+		b.Addi(ri(1), ri(1), 8)
+		b.Addi(ri(3), ri(3), 1)
+		b.Blt(ri(3), ri(4), "dispatch")
+
+		// String hash (stride 1) feeding sparse table updates.
+		b.LoadAddr(ri(10), "str")
+		b.LoadAddr(ri(11), "hashtab")
+		b.Li(ri(12), 0)
+		b.Li(ri(13), str)
+		b.Li(ri(14), 5381)
+		b.Label("hash")
+		b.Ld(ri(15), ri(10), 0)
+		b.Slli(ri(16), ri(14), 5)
+		b.Add(ri(14), ri(16), ri(14))
+		b.Xor(ri(14), ri(14), ri(15))
+		b.Addi(ri(10), ri(10), 8)
+		b.Addi(ri(12), ri(12), 1)
+		b.Blt(ri(12), ri(13), "hash")
+		b.Andi(ri(17), ri(14), 255)
+		b.Slli(ri(17), ri(17), 3)
+		b.Add(ri(17), ri(17), ri(11))
+		b.St(ri(14), ri(17), 0)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildVortex: record-oriented database traffic: walks 8-word records
+// (field loads at stride 64 bytes = 8 elements), validates fields with
+// well-predicted branches, copies payloads stride-1, and occasionally
+// rewrites a record in place (store into a prefetched range).
+func buildVortex(scale int, seed int64) *isa.Program {
+	b := isa.NewBuilder("vortex")
+	r := newRng(seed)
+	const recs = 512
+	db := make([]uint64, recs*8)
+	for i := 0; i < recs; i++ {
+		db[i*8] = uint64(i)        // key
+		db[i*8+1] = r.next() % 100 // status
+		for f := 2; f < 8; f++ {
+			db[i*8+f] = r.next() % (1 << 32)
+		}
+	}
+	b.DataWords("db", db)
+	b.DataWords("schema", []uint64{8})
+	b.DataZero("copy", recs)
+	b.DataZero("status", recs)
+
+	perRec := 20
+	reps := clampScale(scale, 1) / (recs * perRec)
+	reps = clampScale(reps, 1)
+
+	outer(b, "txn", reps, func() {
+		b.LoadAddr(ri(1), "db")
+		b.LoadAddr(ri(2), "copy")
+		b.LoadAddr(ri(3), "status")
+		b.Li(ri(4), 0)
+		b.Li(ri(5), recs)
+		b.LoadAddr(ri(14), "schema")
+		b.Label("rec")
+		b.Ld(ri(15), ri(14), 0) // schema descriptor (stride 0)
+		b.Ld(ri(6), ri(1), 0)   // key     (stride 8 elements)
+		b.Ld(ri(7), ri(1), 8)   // status  (stride 8 elements)
+		b.Ld(ri(8), ri(1), 16)  // payload head
+		b.Ld(ri(12), ri(1), 24) // owner
+		b.Ld(ri(13), ri(1), 32) // checksum
+		b.Slti(ri(9), ri(7), 95)
+		b.Beq(ri(9), rZero, "stale") // ~5% taken: well predicted
+		b.Add(ri(10), ri(6), ri(8))
+		b.Add(ri(10), ri(10), ri(12))
+		b.Xor(ri(10), ri(10), ri(13))
+		b.Add(ri(10), ri(10), ri(15))
+		b.St(ri(10), ri(2), 0) // copy out
+		b.St(ri(7), ri(3), 0)  // status log (separate array)
+		b.J("nextrec")
+		b.Label("stale")
+		// In-place refresh: store back into the record region that the
+		// field loads have prefetched (a §3.6 conflict).
+		b.Addi(ri(11), ri(7), 1)
+		b.St(ri(11), ri(1), 8)
+		b.Label("nextrec")
+		b.Addi(ri(1), ri(1), 64)
+		b.Addi(ri(2), ri(2), 8)
+		b.Addi(ri(3), ri(3), 8)
+		b.Addi(ri(4), ri(4), 1)
+		b.Blt(ri(4), ri(5), "rec")
+	})
+	b.Halt()
+	return b.MustBuild()
+}

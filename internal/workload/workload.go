@@ -1,0 +1,145 @@
+// Package workload generates the synthetic Spec95-like benchmark programs
+// used by the evaluation, substituting for the proprietary SpecInt95 /
+// SpecFP95 suites (see DESIGN.md §3).
+//
+// Each generator emits a real program for the specvec ISA whose dynamic
+// behaviour matches the published characteristics that drive the paper's
+// mechanism: the per-benchmark stride mix of Figure 1, branch
+// predictability, instruction mix, and loop structure. The suite is the
+// eight SpecInt95 programs and the four SpecFP95 programs the paper uses
+// (swim, applu, turb3d, fpppp).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"specvec/internal/isa"
+)
+
+// Benchmark is one generated program family.
+type Benchmark struct {
+	Name string
+	FP   bool
+	// Description summarises the real program this stands in for and the
+	// behaviour the generator reproduces.
+	Description string
+	// Build generates the program. scale is the approximate dynamic
+	// instruction count of a full run; seed perturbs embedded data.
+	Build func(scale int, seed int64) *isa.Program
+}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("workload: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Get returns the named benchmark.
+func Get(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names returns all benchmark names, integer suite first, in the paper's
+// presentation order.
+func Names() []string {
+	return append(append([]string{}, IntNames()...), FPNames()...)
+}
+
+// IntNames returns the SpecInt95 substitute suite in the paper's order.
+func IntNames() []string {
+	return []string{"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex"}
+}
+
+// FPNames returns the SpecFP95 substitute suite in the paper's order.
+func FPNames() []string {
+	return []string{"swim", "applu", "turb3d", "fpppp"}
+}
+
+// All returns every benchmark in presentation order.
+func All() []Benchmark {
+	var out []Benchmark
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// sortedRegistryNames is used by tests to confirm registration coverage.
+func sortedRegistryNames() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- shared generator helpers ----
+
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng { return &rng{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 16
+}
+
+// words returns n pseudo-random 64-bit values bounded below mod.
+func (r *rng) words(n int, mod uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		if mod == 0 {
+			out[i] = r.next()
+		} else {
+			out[i] = r.next() % mod
+		}
+	}
+	return out
+}
+
+// floats returns n pseudo-random doubles in (0, 1].
+func (r *rng) floats(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(r.next()%1_000_000+1) / 1_000_000
+	}
+	return out
+}
+
+// Conventional register roles used across generators to keep them readable.
+var (
+	rZero = isa.IntReg(0)
+	rIter = isa.IntReg(29) // outer-loop counter
+	rLim  = isa.IntReg(28) // outer-loop bound
+)
+
+func ri(i int) isa.Reg { return isa.IntReg(i) }
+func rf(i int) isa.Reg { return isa.FPReg(i) }
+
+// outer wraps body in `for rIter = 0; rIter < n; rIter++` so generators
+// can dial dynamic length with one knob.
+func outer(b *isa.Builder, name string, n int, body func()) {
+	b.Li(rIter, 0)
+	b.Li(rLim, int64(n))
+	b.Label(name)
+	body()
+	b.Addi(rIter, rIter, 1)
+	b.Blt(rIter, rLim, name)
+}
+
+// clampScale keeps generated trip counts sane.
+func clampScale(scale, min int) int {
+	if scale < min {
+		return min
+	}
+	return scale
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"testing"
+
+	"specvec/internal/config"
+	"specvec/internal/emu"
+	"specvec/internal/pipeline"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(sortedRegistryNames()); got != 12 {
+		t.Fatalf("registered %d benchmarks, want 12", got)
+	}
+	if len(IntNames()) != 8 || len(FPNames()) != 4 {
+		t.Error("suite split wrong")
+	}
+	for _, n := range Names() {
+		b, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name != n || b.Description == "" || b.Build == nil {
+			t.Errorf("benchmark %q incomplete", n)
+		}
+	}
+	if _, err := Get("nonesuch"); err == nil {
+		t.Error("Get accepted unknown name")
+	}
+}
+
+func TestFPFlag(t *testing.T) {
+	for _, n := range IntNames() {
+		if b, _ := Get(n); b.FP {
+			t.Errorf("%s marked FP", n)
+		}
+	}
+	for _, n := range FPNames() {
+		if b, _ := Get(n); !b.FP {
+			t.Errorf("%s not marked FP", n)
+		}
+	}
+}
+
+// TestAllBenchmarksRunFunctionally executes every generated program on the
+// emulator: it must halt within a bounded budget and touch memory.
+func TestAllBenchmarksRunFunctionally(t *testing.T) {
+	for _, bench := range All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			prog := bench.Build(60_000, 1)
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m, err := emu.New(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := m.Run(3_000_000)
+			if err != nil {
+				t.Fatalf("did not halt: %v", err)
+			}
+			if n < 10_000 {
+				t.Errorf("only %d dynamic instructions; generator mis-scaled", n)
+			}
+		})
+	}
+}
+
+// TestScaleKnob: larger scales produce proportionally longer runs.
+func TestScaleKnob(t *testing.T) {
+	b, _ := Get("swim")
+	short := dynLen(t, b, 30_000)
+	long := dynLen(t, b, 120_000)
+	if float64(long) < 1.8*float64(short) {
+		t.Errorf("scale knob weak: %d vs %d", short, long)
+	}
+}
+
+func dynLen(t *testing.T, b Benchmark, scale int) uint64 {
+	t.Helper()
+	m, err := emu.New(b.Build(scale, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestDeterministicGeneration: same seed, same program.
+func TestDeterministicGeneration(t *testing.T) {
+	b, _ := Get("compress")
+	p1 := b.Build(50_000, 7)
+	p2 := b.Build(50_000, 7)
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatal("instruction counts differ")
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+// TestBenchmarksOnPipeline runs every workload through the full V
+// configuration and sanity-checks the mechanism-relevant behaviour.
+func TestBenchmarksOnPipeline(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	for _, bench := range All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			s, err := pipeline.New(cfg, bench.Build(50_000, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := s.Run(80_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.IPC() <= 0.1 || st.IPC() > float64(cfg.IssueWidth) {
+				t.Errorf("implausible IPC %.3f", st.IPC())
+			}
+			if st.Validations() == 0 {
+				t.Errorf("no validations: dynamic vectorization never fired")
+			}
+			if st.StrideHist.Total() == 0 {
+				t.Error("no stride samples")
+			}
+		})
+	}
+}
+
+// TestStrideCharacters checks the per-benchmark stride signatures that
+// Figure 1 depends on.
+func TestStrideCharacters(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	frac := func(name string, bucket int) float64 {
+		b, _ := Get(name)
+		s, err := pipeline.New(cfg, b.Build(60_000, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.StrideHist.Fraction(bucket)
+	}
+	if f := frac("swim", 2); f < 0.2 {
+		t.Errorf("swim stride-2 fraction %.2f, want >= 0.2 (unrolled loads)", f)
+	}
+	if f := frac("vortex", 8); f < 0.10 {
+		t.Errorf("vortex stride-8 fraction %.2f, want >= 0.10 (record walks)", f)
+	}
+	if f := frac("li", 2); f < 0.3 {
+		t.Errorf("li stride-2 fraction %.2f, want >= 0.3 (cons cells)", f)
+	}
+	if f := frac("fpppp", 0); f < 0.15 {
+		t.Errorf("fpppp stride-0 fraction %.2f, want >= 0.15 (spill reloads)", f)
+	}
+	if f := frac("compress", -1); f < 0.2 {
+		t.Errorf("compress irregular fraction %.2f, want >= 0.2 (hash probes)", f)
+	}
+}
+
+// TestBranchCharacters: go must mispredict much more than swim.
+func TestBranchCharacters(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	rate := func(name string) float64 {
+		b, _ := Get(name)
+		s, err := pipeline.New(cfg, b.Build(60_000, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.BranchMispredictRate()
+	}
+	goRate, swimRate := rate("go"), rate("swim")
+	if goRate < 2*swimRate {
+		t.Errorf("go mispredict rate %.3f not clearly above swim %.3f", goRate, swimRate)
+	}
+	if goRate < 0.03 {
+		t.Errorf("go mispredict rate %.3f implausibly low", goRate)
+	}
+}
+
+// TestWorkloadOracleEquivalence: for a sample of real workloads, a timed
+// run under full vectorization must leave exactly the architectural state
+// of a pure functional run (the strongest end-to-end correctness check).
+func TestWorkloadOracleEquivalence(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	for _, name := range []string{"vortex", "li", "fpppp"} {
+		b, _ := Get(name)
+		prog := b.Build(40_000, 3)
+
+		gold, err := emu.New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldN, err := gold.Run(5_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		s, err := pipeline.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(1 << 62)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Committed != goldN-1 { // halt is not counted as committed
+			t.Errorf("%s: committed %d, emulator ran %d", name, st.Committed, goldN)
+		}
+		for i := 0; i < 32; i++ {
+			if s.Machine().IntReg(i) != gold.IntReg(i) {
+				t.Errorf("%s: r%d = %d, want %d", name, i, s.Machine().IntReg(i), gold.IntReg(i))
+			}
+			if s.Machine().FPReg(i) != gold.FPReg(i) {
+				t.Errorf("%s: f%d = %v, want %v", name, i, s.Machine().FPReg(i), gold.FPReg(i))
+			}
+		}
+	}
+}
+
+// TestStoreConflictsPresent: the suite must exercise §3.6 at a low but
+// non-zero rate overall.
+func TestStoreConflictsPresent(t *testing.T) {
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	var conflicts, stores uint64
+	for _, name := range []string{"vortex", "li", "gcc", "fpppp"} {
+		b, _ := Get(name)
+		s, err := pipeline.New(cfg, b.Build(50_000, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(50_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		conflicts += st.StoreConflicts
+		stores += st.CommittedStores
+	}
+	if conflicts == 0 {
+		t.Fatal("no store/range conflicts anywhere in the suite")
+	}
+	if rate := float64(conflicts) / float64(stores); rate > 0.25 {
+		t.Errorf("conflict rate %.3f pathologically high", rate)
+	}
+}
