@@ -1,6 +1,7 @@
 package specvec
 
 import (
+	"runtime"
 	"testing"
 
 	"specvec/internal/config"
@@ -122,6 +123,35 @@ func BenchmarkAblation(b *testing.B) {
 	report(b, tabs, "no churn damper", "IPC", "nochurn-IPC")
 	report(b, tabs, "range-only conflicts", "IPC", "rangeonly-IPC")
 }
+
+// runnerFanout is the shared body of the Runner-mode benchmarks: one
+// cold Runner per iteration executing the same 3-mode × 12-benchmark
+// fan-out, so Sequential vs Parallel isolates the worker pool.
+func runnerFanout(b *testing.B, workers int) {
+	b.Helper()
+	var specs []experiments.RunSpec
+	for _, mode := range []config.Mode{config.ModeNoIM, config.ModeIM, config.ModeV} {
+		cfg := config.MustNamed(4, 1, mode)
+		for _, name := range workload.Names() {
+			specs = append(specs, experiments.RunSpec{Cfg: cfg, Bench: name})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{Scale: benchScale, Seed: 1, Workers: workers})
+		if _, err := r.RunAll(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+// BenchmarkRunnerSequential is the pre-parallelization baseline: one
+// simulation at a time (Workers: 1).
+func BenchmarkRunnerSequential(b *testing.B) { runnerFanout(b, 1) }
+
+// BenchmarkRunnerParallel runs the identical fan-out on all cores; the
+// ratio to BenchmarkRunnerSequential is the worker-pool speedup.
+func BenchmarkRunnerParallel(b *testing.B) { runnerFanout(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // instructions per wall-clock second) on the V configuration.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sdvexp -list
-//	sdvexp -exp fig11 [-scale 300000] [-seed 1]
+//	sdvexp -exp fig11 [-scale 300000] [-seed 1] [-parallel N]
 //	sdvexp -exp all
 //
 // Each experiment prints one or more benchmark × series tables with INT /
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"specvec/internal/experiments"
@@ -22,10 +23,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig1, fig3, fig7, fig9, fig10, fig11, fig12, fig13, fig14, fig15, table1, headline, veclen, ablation) or 'all'")
-		scale = flag.Int("scale", 300_000, "approximate dynamic instructions per run")
-		seed  = flag.Int64("seed", 1, "workload data seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment id (fig1, fig3, fig7, fig9, fig10, fig11, fig12, fig13, fig14, fig15, table1, headline, veclen, ablation) or 'all'")
+		scale    = flag.Int("scale", 300_000, "approximate dynamic instructions per run")
+		seed     = flag.Int64("seed", 1, "workload data seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -36,7 +38,7 @@ func main() {
 		return
 	}
 
-	runner := experiments.NewRunner(experiments.Options{Scale: *scale, Seed: *seed})
+	runner := experiments.NewRunner(experiments.Options{Scale: *scale, Seed: *seed, Workers: *parallel})
 	var toRun []experiments.Experiment
 	if *exp == "all" {
 		toRun = experiments.All()

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	sdvsim -workload swim -config 4w-1pV -max 500000
+//	sdvsim -workload swim,applu,gcc -parallel 4   # fan out over workloads
+//	sdvsim -workload all -config 8w-1pV
 //	sdvsim -asm kernel.s -config 8w-2pIM
 //	sdvsim -workloads            # list available workloads
 //
@@ -16,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"specvec/internal/asm"
 	"specvec/internal/config"
+	"specvec/internal/experiments"
 	"specvec/internal/isa"
 	"specvec/internal/pipeline"
 	"specvec/internal/workload"
@@ -27,12 +31,13 @@ import (
 
 func main() {
 	var (
-		wl       = flag.String("workload", "", "benchmark name (see -workloads)")
+		wl       = flag.String("workload", "", "benchmark name, comma-separated list, or 'all' (see -workloads)")
 		asmFile  = flag.String("asm", "", "assembly file to run instead of a workload")
 		cfgName  = flag.String("config", "4w-1pV", "configuration name, e.g. 4w-1pV, 8w-4pnoIM")
 		max      = flag.Uint64("max", 500_000, "maximum committed instructions")
 		scale    = flag.Int("scale", 500_000, "workload scale (approximate dynamic instructions)")
 		seed     = flag.Int64("seed", 1, "workload data seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations when running several workloads")
 		listWLs  = flag.Bool("workloads", false, "list workloads and exit")
 		listCfgs = flag.Bool("configs", false, "list configurations and exit")
 	)
@@ -72,7 +77,24 @@ func main() {
 			fatal(err)
 		}
 	case *wl != "":
-		b, err := workload.Get(*wl)
+		names, err := workloadNames(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		if len(names) > 1 {
+			// The experiments Runner caps every run at -scale; -max only
+			// applies to single runs.
+			maxSet := false
+			flag.Visit(func(f *flag.Flag) { maxSet = maxSet || f.Name == "max" })
+			if maxSet && *max != uint64(*scale) {
+				fmt.Fprintf(os.Stderr, "sdvsim: -max is ignored with multiple workloads; each run commits up to -scale (%d) instructions\n", *scale)
+			}
+			if err := runSuite(cfg, names, *scale, *seed, *parallel); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		b, err := workload.Get(names[0])
 		if err != nil {
 			fatal(err)
 		}
@@ -90,6 +112,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("program %s on %s\n\n%s", prog.Name, cfg.Name, st.String())
+}
+
+// workloadNames expands a -workload argument: one name, a comma-separated
+// list, or "all" for the full suite.
+func workloadNames(arg string) ([]string, error) {
+	if arg == "all" {
+		return workload.Names(), nil
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := workload.Get(n); err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty -workload argument %q", arg)
+	}
+	return names, nil
+}
+
+// runSuite fans several workloads out over the experiments Runner's
+// worker pool and prints their statistics in the requested order.
+func runSuite(cfg config.Config, names []string, scale int, seed int64, parallel int) error {
+	r := experiments.NewRunner(experiments.Options{Scale: scale, Seed: seed, Workers: parallel})
+	specs := make([]experiments.RunSpec, len(names))
+	for i, n := range names {
+		specs[i] = experiments.RunSpec{Cfg: cfg, Bench: n}
+	}
+	sims, err := r.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	for i, st := range sims {
+		fmt.Printf("workload %s on %s\n\n%s\n", names[i], cfg.Name, st.String())
+	}
+	return nil
 }
 
 // parseConfig resolves a paper-style configuration name.

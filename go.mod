@@ -1,0 +1,3 @@
+module specvec
+
+go 1.24

@@ -20,16 +20,15 @@ import (
 func Ablation(r *Runner) ([]*Table, error) {
 	base := config.MustNamed(4, 1, config.ModeV)
 
-	variant := func(name string, mutate func(*config.Config)) (Row, error) {
-		cfg := base
-		mutate(&cfg)
+	variant := func(name string, cfg config.Config) (Row, error) {
+		sims, err := r.RunAll(suiteSpecs(cfg))
+		if err != nil {
+			return Row{}, err
+		}
 		var ipcInt, ipcFP, valid, conflicts, insts float64
 		var nInt, nFP int
-		for _, bn := range workload.Names() {
-			st, err := r.Run(cfg, bn)
-			if err != nil {
-				return Row{}, err
-			}
+		for i, bn := range workload.Names() {
+			st := sims[i]
 			b, _ := workload.Get(bn)
 			if b.FP {
 				ipcFP += st.IPC()
@@ -67,9 +66,20 @@ func Ablation(r *Runner) ([]*Table, error) {
 		{"confidence=3", func(c *config.Config) { c.ConfThreshold = 3 }},
 	}
 
+	// Build each variant's config once (the same value is prefetched and
+	// then requested, so the memo keys are guaranteed to match) and submit
+	// every suite to the pool before assembling any row, so the whole
+	// 10-variant × 12-benchmark sweep runs concurrently.
+	cfgs := make([]config.Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = base
+		v.mutate(&cfgs[i])
+	}
+	r.Prefetch(suiteSpecs(cfgs...))
+
 	var rows []Row
-	for _, v := range variants {
-		row, err := variant(v.name, v.mutate)
+	for i, v := range variants {
+		row, err := variant(v.name, cfgs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -92,13 +102,21 @@ func Ablation(r *Runner) ([]*Table, error) {
 // of one static load whose stride stays constant; runs shorter than 2 are
 // unvectorizable noise and are not counted.
 func VecLen(r *Runner) ([]*Table, error) {
+	names := workload.Names()
+	// The functional-emulation passes are independent per benchmark; run
+	// them on the same worker pool as the cycle-level simulations.
+	means := make([]float64, len(names))
+	if err := r.each(len(names), func(i int) error {
+		m, err := meanRunLength(r, names[i])
+		means[i] = m
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var rows []Row
 	var intLens, fpLens, allLens []float64
-	for _, name := range workload.Names() {
-		mean, err := meanRunLength(r, name)
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range names {
+		mean := means[i]
 		rows = append(rows, Row{Name: name, Cells: []float64{mean}})
 		b, _ := workload.Get(name)
 		if b.FP {

@@ -92,6 +92,7 @@ func Fig07(r *Runner) ([]*Table, error) {
 	real := config.MustNamed(4, 1, config.ModeV)
 	ideal := real
 	ideal.BlockScalarOperand = false
+	r.Prefetch(suiteSpecs(real, ideal))
 
 	realRows, err := r.perBenchmark(real, func(st *stats.Sim) []float64 {
 		return []float64{st.IPC()}
@@ -169,9 +170,16 @@ func figure11Modes() (cols []string, ports []int, modes []config.Mode) {
 
 func sweepTable(r *Runner, id, title string, width int, metric func(*stats.Sim, config.Config) float64, format, notes string) (*Table, error) {
 	cols, ports, modes := figure11Modes()
+	cfgs := make([]config.Config, len(cols))
+	for i := range cols {
+		cfgs[i] = config.MustNamed(width, ports[i], modes[i])
+	}
+	// Submit the whole 9-series × 12-benchmark fan-out to the pool up
+	// front; the per-series loops below then assemble from the memo.
+	r.Prefetch(suiteSpecs(cfgs...))
 	var rowSets [][]Row
 	for i := range cols {
-		cfg := config.MustNamed(width, ports[i], modes[i])
+		cfg := cfgs[i]
 		rows, err := r.perBenchmark(cfg, func(st *stats.Sim) []float64 {
 			return []float64{metric(st, cfg)}
 		})

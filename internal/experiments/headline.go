@@ -21,11 +21,15 @@ func Headline(r *Runner) ([]*Table, error) {
 	type agg struct{ ipc, memPerInst, valid, conflictRate float64 }
 	collect := func(cfg config.Config, names []string) (agg, error) {
 		var a agg
-		for _, n := range names {
-			st, err := r.Run(cfg, n)
-			if err != nil {
-				return a, err
-			}
+		specs := make([]RunSpec, len(names))
+		for i, n := range names {
+			specs[i] = RunSpec{Cfg: cfg, Bench: n}
+		}
+		sims, err := r.RunAll(specs)
+		if err != nil {
+			return a, err
+		}
+		for _, st := range sims {
 			a.ipc += st.IPC()
 			a.memPerInst += st.MemRequestsPerInst()
 			a.valid += st.ValidationFraction()
@@ -43,6 +47,10 @@ func Headline(r *Runner) ([]*Table, error) {
 	cfg4w1pIM := config.MustNamed(4, 1, config.ModeIM)
 	cfg4w4pNo := config.MustNamed(4, 4, config.ModeNoIM)
 	cfg8w4pNo := config.MustNamed(8, 4, config.ModeNoIM)
+
+	// The INT/FP collects below reuse these runs from the memo, so this
+	// prefetch is the experiment's entire simulation cost.
+	r.Prefetch(suiteSpecs(cfg4w1pV, cfg4w1pIM, cfg4w4pNo, cfg8w4pNo))
 
 	all := workload.Names()
 	ints, fps := workload.IntNames(), workload.FPNames()

@@ -7,6 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"specvec/internal/config"
 	"specvec/internal/pipeline"
@@ -22,10 +25,18 @@ type Options struct {
 	Scale int
 	// Seed perturbs the generated workload data.
 	Seed int64
+	// Workers bounds the number of simulations executing concurrently.
+	// <= 0 means runtime.GOMAXPROCS(0); 1 is strictly sequential. Results
+	// are byte-identical regardless of Workers: every simulation is an
+	// independent deterministic run and tables are assembled in a fixed
+	// order.
+	Workers int
 }
 
 // DefaultOptions returns the standard experiment scale.
-func DefaultOptions() Options { return Options{Scale: 300_000, Seed: 1} }
+func DefaultOptions() Options {
+	return Options{Scale: 300_000, Seed: 1, Workers: runtime.GOMAXPROCS(0)}
+}
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
@@ -34,34 +45,93 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// Runner executes (configuration, benchmark) pairs with memoisation, so
-// experiments that share runs (e.g. Figures 11 and 12) pay once.
+// RunSpec names one (configuration, benchmark) simulation.
+type RunSpec struct {
+	Cfg   config.Config
+	Bench string
+}
+
+// call is one memoised simulation. The first requester of a key becomes
+// the leader and computes; every later requester blocks on done and
+// shares the leader's result (singleflight), so experiments that overlap
+// (e.g. Figures 11 and 12) pay for each run once even when submitted
+// concurrently.
+type call struct {
+	done chan struct{}
+	st   *stats.Sim
+	err  error
+}
+
+// Runner executes (configuration, benchmark) pairs on a bounded worker
+// pool with memoisation. It is safe for concurrent use by multiple
+// goroutines.
 type Runner struct {
-	opts  Options
-	cache map[string]*stats.Sim
+	opts Options
+	sem  chan struct{} // bounds concurrently executing simulations
+
+	mu    sync.Mutex
+	cache map[string]*call
+
+	sims atomic.Int64 // simulations actually executed (cache misses)
 }
 
 // NewRunner returns a Runner with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.withDefaults(), cache: map[string]*stats.Sim{}}
+	opts = opts.withDefaults()
+	return &Runner{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.Workers),
+		cache: map[string]*call{},
+	}
 }
 
 // Opts returns the runner's options.
 func (r *Runner) Opts() Options { return r.opts }
 
-// Run simulates benchmark bench under cfg and returns its statistics.
-// Results are memoised on (config name, variant flags, benchmark).
-func (r *Runner) Run(cfg config.Config, bench string) (*stats.Sim, error) {
-	key := fmt.Sprintf("%s|u=%v|b=%v|cd=%v|ro=%v|vl=%d|vr=%d|ct=%d|%s|%d|%d",
+// Simulations returns how many simulations the runner has actually
+// executed — i.e. cache misses; singleflight-shared and memoised requests
+// do not count.
+func (r *Runner) Simulations() int64 { return r.sims.Load() }
+
+func (r *Runner) key(cfg config.Config, bench string) string {
+	return fmt.Sprintf("%s|u=%v|b=%v|cd=%v|ro=%v|vl=%d|vr=%d|ct=%d|%s|%d|%d",
 		cfg.Name, cfg.Unbounded, cfg.BlockScalarOperand, cfg.ChurnDamper,
 		cfg.RangeOnlyConflicts, cfg.VectorLen, cfg.VectorRegs, cfg.ConfThreshold,
 		bench, r.opts.Scale, r.opts.Seed)
-	if st, ok := r.cache[key]; ok {
-		return st, nil
+}
+
+// Run simulates benchmark bench under cfg and returns its statistics.
+// Results are memoised on (config name, variant flags, benchmark); an
+// in-flight run for the same key is joined rather than duplicated.
+func (r *Runner) Run(cfg config.Config, bench string) (*stats.Sim, error) {
+	key := r.key(cfg, bench)
+	r.mu.Lock()
+	if c, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.st, c.err
 	}
+	c := &call{done: make(chan struct{})}
+	r.cache[key] = c
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	c.st, c.err = r.simulate(cfg, bench)
+	<-r.sem
+	close(c.done)
+	return c.st, c.err
+}
+
+// simulate is one uncached simulation. Each run builds its own program
+// and pipeline; nothing is shared between concurrent simulations.
+func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
+	r.sims.Add(1)
 	b, err := workload.Get(bench)
 	if err != nil {
 		return nil, err
@@ -75,22 +145,99 @@ func (r *Runner) Run(cfg config.Config, bench string) (*stats.Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
 	}
-	r.cache[key] = st
 	return st, nil
 }
 
-// perBenchmark runs every benchmark under cfg and invokes get to extract
-// one row of values; INT, FP and Spec95 aggregate rows (arithmetic means,
-// matching the paper's bar charts) are appended.
-func (r *Runner) perBenchmark(cfg config.Config, get func(*stats.Sim) []float64) ([]Row, error) {
-	var rows []Row
-	var intAgg, fpAgg, allAgg [][]float64
-	for _, name := range workload.Names() {
-		st, err := r.Run(cfg, name)
+// RunAll submits every spec to the worker pool at once and returns the
+// statistics in spec order. The first error (in spec order) is returned
+// after all runs settle, so a failed batch leaves no simulation in
+// flight.
+func (r *Runner) RunAll(specs []RunSpec) ([]*stats.Sim, error) {
+	out := make([]*stats.Sim, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s RunSpec) {
+			defer wg.Done()
+			out[i], errs[i] = r.Run(s.Cfg, s.Bench)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		vals := get(st)
+	}
+	return out, nil
+}
+
+// Prefetch begins computing the given runs in the background without
+// waiting for them. Errors are not reported here; they resurface from the
+// memo when Run or RunAll later requests the same key. There is no
+// cancellation: if the consumer aborts early, already-submitted runs
+// finish in the background (and stay memoised for the next request).
+func (r *Runner) Prefetch(specs []RunSpec) {
+	for _, s := range specs {
+		go func(s RunSpec) { _, _ = r.Run(s.Cfg, s.Bench) }(s)
+	}
+}
+
+// each runs fn(0..n-1) on the runner's worker pool and returns the first
+// error in index order. It is used for per-benchmark work that does not
+// go through the simulation cache (e.g. the functional-emulation pass of
+// VecLen) so that it shares the same concurrency bound. fn holds a pool
+// slot for its whole duration and therefore must not call Run/RunAll:
+// with Workers=1 the nested acquisition would deadlock.
+func (r *Runner) each(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteSpecs returns the full (cfg × benchmark) fan-out for each config,
+// in presentation order.
+func suiteSpecs(cfgs ...config.Config) []RunSpec {
+	names := workload.Names()
+	specs := make([]RunSpec, 0, len(cfgs)*len(names))
+	for _, cfg := range cfgs {
+		for _, n := range names {
+			specs = append(specs, RunSpec{Cfg: cfg, Bench: n})
+		}
+	}
+	return specs
+}
+
+// perBenchmark runs every benchmark under cfg (submitting the whole suite
+// to the pool at once) and invokes get to extract one row of values; INT,
+// FP and Spec95 aggregate rows (arithmetic means, matching the paper's
+// bar charts) are appended. get is called sequentially in presentation
+// order, so it need not be safe for concurrent use.
+func (r *Runner) perBenchmark(cfg config.Config, get func(*stats.Sim) []float64) ([]Row, error) {
+	names := workload.Names()
+	sims, err := r.RunAll(suiteSpecs(cfg))
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	var intAgg, fpAgg, allAgg [][]float64
+	for i, name := range names {
+		vals := get(sims[i])
 		rows = append(rows, Row{Name: name, Cells: vals})
 		b, _ := workload.Get(name)
 		if b.FP {
@@ -100,12 +247,24 @@ func (r *Runner) perBenchmark(cfg config.Config, get func(*stats.Sim) []float64)
 		}
 		allAgg = append(allAgg, vals)
 	}
-	rows = append(rows,
-		Row{Name: "INT", Cells: meanRows(intAgg)},
-		Row{Name: "FP", Cells: meanRows(fpAgg)},
-		Row{Name: "Spec95", Cells: meanRows(allAgg)},
-	)
-	return rows, nil
+	return appendAggregates(rows, intAgg, fpAgg, allAgg), nil
+}
+
+// appendAggregates appends the INT / FP / Spec95 mean rows. A benchmark
+// class with no members contributes no row at all: meanRows(nil) is nil,
+// and a named row with nil cells would make downstream consumers
+// (sweepTable's Cells[0], Table.Render) index past the slice.
+func appendAggregates(rows []Row, intAgg, fpAgg, allAgg [][]float64) []Row {
+	for _, agg := range []struct {
+		name string
+		vals [][]float64
+	}{{"INT", intAgg}, {"FP", fpAgg}, {"Spec95", allAgg}} {
+		if len(agg.vals) == 0 {
+			continue
+		}
+		rows = append(rows, Row{Name: agg.name, Cells: meanRows(agg.vals)})
+	}
+	return rows
 }
 
 func meanRows(rows [][]float64) []float64 {
