@@ -40,6 +40,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations when running several workloads")
 		listWLs  = flag.Bool("workloads", false, "list workloads and exit")
 		listCfgs = flag.Bool("configs", false, "list configurations and exit")
+		hotStats = flag.Bool("hotstats", false, "print hot-path pool/journal counters after a single run")
 	)
 	flag.Parse()
 
@@ -112,6 +113,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("program %s on %s\n\n%s", prog.Name, cfg.Name, st.String())
+	if *hotStats {
+		h := sim.HotStats()
+		fmt.Printf("\nhot path (steady state allocates nothing: news flat, recycles grow)\n")
+		fmt.Printf("uop pool             %d heap / %d recycled\n", h.UopNews, h.UopRecycles)
+		fmt.Printf("vop pool             %d heap / %d recycled\n", h.VopNews, h.VopRecycles)
+		fmt.Printf("journal depth        %d live undo records\n", h.JournalDepth)
+	}
 }
 
 // workloadNames expands a -workload argument: one name, a comma-separated

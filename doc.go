@@ -5,7 +5,7 @@
 // the synthetic Spec95-like workload suite and the experiment harness that
 // regenerates every figure of the paper's evaluation.
 //
-// Layout:
+// Layout (each package carries its own doc.go with details):
 //
 //	internal/isa         instruction set, program container, builder
 //	internal/asm         text assembler / disassembler
@@ -16,10 +16,17 @@
 //	internal/pipeline    cycle-level OoO model with the SDV extension
 //	internal/workload    12 synthetic Spec95-like benchmarks
 //	internal/experiments figures/tables of §4 and the headline numbers
+//	internal/profile     hot-path counters (pool recycling, allocations)
+//	internal/stats       counters and histograms shared by a run
+//	internal/config      Table 1 configurations and the sweep matrix
 //	cmd/sdvsim           run one workload on one configuration
 //	cmd/sdvexp           regenerate any figure or table
 //	cmd/sdvasm           assemble/disassemble/execute assembly programs
 //
-// The benchmarks in bench_test.go regenerate each figure at reduced scale;
-// see EXPERIMENTS.md for full-scale paper-vs-measured results.
+// ARCHITECTURE.md walks the pipeline stage by stage, documents the SDV
+// structures against the sections of the paper that define them, and maps
+// each figure to the code that regenerates it. The benchmarks in
+// bench_test.go regenerate each figure at reduced scale; see
+// EXPERIMENTS.md for full-scale paper-vs-measured results and the hot-path
+// performance methodology.
 package specvec

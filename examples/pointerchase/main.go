@@ -3,7 +3,8 @@
 // example walks a linked list — opaque to any static analysis — whose
 // nodes happen to be allocated contiguously (as bump allocators tend to
 // do). The Table of Loads discovers that the car/cdr loads stride by the
-// node size and vectorizes the walk speculatively.
+// node size and vectorizes the walk speculatively. See "The paper's
+// structures" in ARCHITECTURE.md for the TL/VRMT mechanics at work here.
 //
 //	go run ./examples/pointerchase
 package main

@@ -1,6 +1,8 @@
 // Quickstart: build a small kernel, run it on the three processor modes of
 // the paper (scalar buses, wide bus, wide bus + speculative dynamic
-// vectorization) and compare.
+// vectorization) and compare. ARCHITECTURE.md at the repository root walks
+// the pipeline these modes run on; examples/pointerchase shows the case
+// static compilers cannot touch.
 //
 //	go run ./examples/quickstart
 package main
@@ -32,6 +34,14 @@ func main() {
 		}
 		fmt.Printf("%-8s %8.3f %10d %12.3f %11.1f%%\n",
 			mode, st.IPC(), st.Cycles, st.MemRequestsPerInst(), 100*st.ValidationFraction())
+		if mode == config.ModeV {
+			// The cycle loop recycles its structures instead of allocating:
+			// heap news stay bounded by the in-flight window while recycles
+			// grow with the run (see internal/profile).
+			h := sim.HotStats()
+			fmt.Printf("         (hot path: %d uops on the heap, %d recycled)\n",
+				h.UopNews, h.UopRecycles)
+		}
 	}
 	fmt.Println()
 	fmt.Println("noIM = scalar buses; IM = one wide (line-sized) bus;")

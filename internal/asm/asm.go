@@ -1,24 +1,3 @@
-// Package asm implements a text assembler and disassembler for the specvec
-// ISA. Examples and tests write small kernels in assembly; workload
-// generators use the isa.Builder API directly.
-//
-// Syntax (one statement per line, ';' or '#' start a comment):
-//
-//	        .data
-//	arr:    .word 1, 2, 3, 4        ; labelled 64-bit words
-//	vals:   .float 1.5, -2.5        ; labelled IEEE-754 doubles
-//	buf:    .space 32               ; labelled zero block (bytes)
-//
-//	        .text
-//	main:   li    r1, arr           ; data labels are immediates
-//	        ld    r2, 8(r1)
-//	        add   r3, r2, r2
-//	        beq   r3, r0, done
-//	        j     main
-//	done:   halt
-//
-// Branch and jump targets are code labels; `li` accepts integer literals,
-// character literals ('a'), or data labels.
 package asm
 
 import (

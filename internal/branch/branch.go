@@ -1,6 +1,3 @@
-// Package branch implements the front-end predictors from Table 1 of the
-// paper: a gshare conditional-branch predictor with 64K two-bit counters, a
-// branch target buffer for indirect jumps and a return address stack.
 package branch
 
 import "specvec/internal/isa"

@@ -1,0 +1,10 @@
+// Package branch implements the front-end predictors from Table 1 of the
+// paper: a gshare conditional-branch predictor with 64K two-bit counters,
+// a branch target buffer for indirect jumps and a return address stack.
+//
+// The pipeline consults the predictor at fetch; a wrong prediction stalls
+// fetch until the branch resolves plus a redirect penalty (trace-driven
+// recovery — wrong-path instructions are not simulated). Prediction state
+// updates immediately at fetch, which matches the in-order front end of
+// the paper's SimpleScalar substrate.
+package branch

@@ -1,7 +1,3 @@
-// Package config defines processor configurations. FourWay and EightWay
-// reproduce Table 1 of the paper; Mode and Matrix enumerate the
-// 18-configuration sweep of Figures 11 and 12 (issue width × L1 data ports
-// × {scalar bus, wide bus, wide bus + dynamic vectorization}).
 package config
 
 import (

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"specvec/internal/stats"
 )
@@ -32,6 +33,7 @@ type LineUse struct {
 // VReg is one vector register with its allocation metadata: the MRBB tag
 // (§3.3) and, for loads, the accessed address range (§3.6).
 type VReg struct {
+	id     int // index in the register file (set once at construction)
 	InUse  bool
 	Epoch  uint64 // bumped on every alloc/free; stale references compare epochs
 	PC     uint64
@@ -47,6 +49,9 @@ type VReg struct {
 	// datapath holds the physical register until the instance drains).
 	pins     int
 	lineUses []LineUse
+	// lineElems backs the Elems slices of lineUses, so AddLineUse can copy
+	// the caller's (reusable) scratch without allocating per use.
+	lineElems []int
 }
 
 // ElemAddr returns the predicted address of element i (loads).
@@ -71,6 +76,10 @@ type RegFile struct {
 	unbounded bool
 	sim       *stats.Sim
 	inUse     int
+
+	// freeBits is a bitmap of free register ids (bit set = free), so Alloc
+	// finds the lowest free id in O(words) instead of scanning every VReg.
+	freeBits []uint64
 }
 
 // NewRegFile builds a register file of n registers with vl elements each;
@@ -82,8 +91,16 @@ func NewRegFile(n, vl int, sim *stats.Sim) *RegFile {
 		return rf
 	}
 	rf.regs = make([]VReg, n)
+	rf.freeBits = make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		rf.regs[i].id = i
+		rf.freeBits[i/64] |= 1 << (i % 64)
+	}
 	return rf
 }
+
+func (rf *RegFile) markFree(id int)  { rf.freeBits[id/64] |= 1 << (id % 64) }
+func (rf *RegFile) clearFree(id int) { rf.freeBits[id/64] &^= 1 << (id % 64) }
 
 // VL returns the vector length.
 func (rf *RegFile) VL() int { return rf.vl }
@@ -110,9 +127,9 @@ func (rf *RegFile) ValidRef(id int, epoch uint64) bool {
 // in-flight vector instance's writes are discarded.
 func (rf *RegFile) Alloc(seq, pc, mrbb uint64, isLoad bool, start int, j *Journal) (id int, epoch uint64, ok bool) {
 	id = -1
-	for i := range rf.regs {
-		if !rf.regs[i].InUse {
-			id = i
+	for w, word := range rf.freeBits {
+		if word != 0 {
+			id = w*64 + bits.TrailingZeros64(word)
 			break
 		}
 	}
@@ -120,9 +137,13 @@ func (rf *RegFile) Alloc(seq, pc, mrbb uint64, isLoad bool, start int, j *Journa
 		if !rf.unbounded {
 			return -1, 0, false
 		}
-		rf.regs = append(rf.regs, VReg{})
+		rf.regs = append(rf.regs, VReg{id: len(rf.regs)})
 		id = len(rf.regs) - 1
+		if id/64 >= len(rf.freeBits) {
+			rf.freeBits = append(rf.freeBits, 0)
+		}
 	}
+	rf.clearFree(id)
 	r := &rf.regs[id]
 	r.Epoch++
 	r.InUse = true
@@ -132,6 +153,7 @@ func (rf *RegFile) Alloc(seq, pc, mrbb uint64, isLoad bool, start int, j *Journa
 	r.Base, r.Stride = 0, 0
 	r.Start = start
 	r.lineUses = r.lineUses[:0]
+	r.lineElems = r.lineElems[:0]
 	if cap(r.Elems) < rf.vl {
 		r.Elems = make([]ElemState, rf.vl)
 	} else {
@@ -146,14 +168,24 @@ func (rf *RegFile) Alloc(seq, pc, mrbb uint64, isLoad bool, start int, j *Journa
 	}
 	rf.inUse++
 	epoch = r.Epoch
-	j.Push(seq, func() {
-		if r.InUse && r.Epoch == epoch {
-			r.InUse = false
-			r.Epoch++
-			rf.inUse--
-		}
-	})
+	j.pushRegAlloc(seq, rf, id, epoch)
 	return id, epoch, true
+}
+
+// undoAlloc is the journalled rollback of Alloc: free the register and
+// bump its epoch so any in-flight vector instance's writes are discarded.
+// A no-op when the allocation was already released (epoch moved on). The
+// journal records the register by index — unbounded mode can reallocate
+// the regs backing array between push and rewind, so a stored pointer
+// would go stale.
+func (rf *RegFile) undoAlloc(id int, epoch uint64) {
+	r := &rf.regs[id]
+	if r.InUse && r.Epoch == epoch {
+		r.InUse = false
+		r.Epoch++
+		rf.inUse--
+		rf.markFree(id)
+	}
 }
 
 // SetRange records the address window of a vectorized load (§3.6).
@@ -217,12 +249,15 @@ func (rf *RegFile) Unpin(id int, epoch uint64) {
 }
 
 // AddLineUse records a wide-bus line access by a vector load (Figure 13).
+// elems is copied: callers may reuse their scratch buffer.
 func (rf *RegFile) AddLineUse(id int, epoch uint64, line uint64, elems []int) {
 	if !rf.ValidRef(id, epoch) {
 		return
 	}
 	r := &rf.regs[id]
-	r.lineUses = append(r.lineUses, LineUse{Line: line, Elems: elems})
+	start := len(r.lineElems)
+	r.lineElems = append(r.lineElems, elems...)
+	r.lineUses = append(r.lineUses, LineUse{Line: line, Elems: r.lineElems[start:len(r.lineElems):len(r.lineElems)]})
 }
 
 // SetUsed marks a validation in flight for element elem (journalled; a
@@ -232,8 +267,7 @@ func (rf *RegFile) SetUsed(seq uint64, id int, epoch uint64, elem int, j *Journa
 		return
 	}
 	e := &rf.regs[id].Elems[elem]
-	old := e.U
-	j.Push(seq, func() { e.U = old })
+	j.pushElemU(seq, e)
 	e.U = true
 }
 
@@ -340,6 +374,7 @@ func (rf *RegFile) release(r *VReg) {
 	r.Epoch++
 	r.pins = 0
 	rf.inUse--
+	rf.markFree(r.id)
 }
 
 // CheckStoreConflict scans allocated load registers for one that the

@@ -58,19 +58,17 @@ func (t *TL) Observe(seq, pc, addr uint64, j *Journal) Observation {
 			t.unbounded[pc] = slot
 		} else {
 			slot = evict
-			old := *slot
-			j.Push(seq, func() { *slot = old })
+			j.pushTLRestore(seq, slot)
 		}
 		t.stamp++
 		*slot = TLEntry{pc: pc, valid: true, LastAddr: addr, lru: t.stamp}
 		if t.unbounded != nil {
-			j.Push(seq, func() { delete(t.unbounded, pc) })
+			j.pushTLDelete(seq, t, pc)
 		}
 		return Observation{FirstSeen: true}
 	}
 
-	old := *e
-	j.Push(seq, func() { *e = old })
+	j.pushTLRestore(seq, e)
 
 	newStride := int64(addr - e.LastAddr)
 	if newStride == e.Stride {
@@ -93,8 +91,7 @@ func (t *TL) ResetConfidence(seq, pc uint64, j *Journal) {
 	if e == nil || !e.valid || e.pc != pc {
 		return
 	}
-	old := e.Conf
-	j.Push(seq, func() { e.Conf = old })
+	j.pushTLConf(seq, e)
 	e.Conf = 0
 }
 

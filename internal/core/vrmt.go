@@ -77,15 +77,17 @@ func NewVRMT(sets, ways int) *VRMT {
 	return v
 }
 
-// Lookup returns a copy of the entry for pc.
-func (v *VRMT) Lookup(pc uint64) (Entry, bool) {
+// Lookup returns the live entry for pc, touching its LRU stamp. The
+// pointer stays valid until the entry's slot is reused by a later Insert;
+// callers must treat it as read-only and not hold it across inserts.
+func (v *VRMT) Lookup(pc uint64) (*Entry, bool) {
 	e := v.find(pc)
 	if e == nil {
-		return Entry{}, false
+		return nil, false
 	}
 	v.stamp++
 	e.lru = v.stamp
-	return *e, true
+	return e, true
 }
 
 // Insert installs a new entry for e.PC, evicting an LRU victim if the set
@@ -100,15 +102,14 @@ func (v *VRMT) Insert(seq uint64, e Entry, j *Journal) (evicted Entry, hadEvict 
 	if v.unbounded != nil {
 		pc := e.PC
 		if prev := v.unbounded[pc]; prev != nil {
-			old := *prev
-			j.Push(seq, func() { *prev = old })
+			j.pushVRMTRestore(seq, prev)
 			*prev = e
 			return Entry{}, false
 		}
 		slot := new(Entry)
 		*slot = e
 		v.unbounded[pc] = slot
-		j.Push(seq, func() { delete(v.unbounded, pc) })
+		j.pushVRMTDelete(seq, v, pc)
 		return Entry{}, false
 	}
 
@@ -125,10 +126,9 @@ func (v *VRMT) Insert(seq uint64, e Entry, j *Journal) (evicted Entry, hadEvict 
 			victim = &set[i]
 		}
 	}
-	old := *victim
-	j.Push(seq, func() { *victim = old })
-	if old.valid && old.PC != e.PC {
-		evicted, hadEvict = old, true
+	j.pushVRMTRestore(seq, victim)
+	if victim.valid && victim.PC != e.PC {
+		evicted, hadEvict = *victim, true
 	}
 	*victim = e
 	return evicted, hadEvict
@@ -141,8 +141,13 @@ func (v *VRMT) Advance(seq, pc uint64, j *Journal) {
 	if e == nil {
 		return
 	}
-	old := e.Offset
-	j.Push(seq, func() { e.Offset = old })
+	v.AdvanceEntry(seq, e, j)
+}
+
+// AdvanceEntry is Advance for a caller that already holds the live entry
+// (the pipeline's decode stage amortizes one find per instruction).
+func (v *VRMT) AdvanceEntry(seq uint64, e *Entry, j *Journal) {
+	j.pushVRMTOffset(seq, e)
 	e.Offset++
 }
 
@@ -151,7 +156,7 @@ func (v *VRMT) Advance(seq, pc uint64, j *Journal) {
 func (v *VRMT) Invalidate(seq, pc uint64, j *Journal) {
 	if v.unbounded != nil {
 		if prev := v.unbounded[pc]; prev != nil {
-			j.Push(seq, func() { v.unbounded[pc] = prev })
+			j.pushVRMTReinsert(seq, v, pc, prev)
 			delete(v.unbounded, pc)
 		}
 		return
@@ -160,8 +165,22 @@ func (v *VRMT) Invalidate(seq, pc uint64, j *Journal) {
 	if e == nil {
 		return
 	}
-	old := *e
-	j.Push(seq, func() { *e = old })
+	j.pushVRMTRestore(seq, e)
+	*e = Entry{}
+}
+
+// InvalidateEntry is Invalidate for a caller that already holds the live
+// entry returned by Lookup.
+func (v *VRMT) InvalidateEntry(seq uint64, e *Entry, j *Journal) {
+	if v.unbounded != nil {
+		pc := e.PC
+		if prev := v.unbounded[pc]; prev != nil {
+			j.pushVRMTReinsert(seq, v, pc, prev)
+			delete(v.unbounded, pc)
+		}
+		return
+	}
+	j.pushVRMTRestore(seq, e)
 	*e = Entry{}
 }
 
@@ -170,8 +189,7 @@ func (v *VRMT) Invalidate(seq, pc uint64, j *Journal) {
 func (v *VRMT) InvalidateByVReg(seq uint64, vreg int, j *Journal) (pc uint64, found bool) {
 	visit := func(e *Entry) bool {
 		if e.valid && e.VReg == vreg {
-			old := *e
-			j.Push(seq, func() { *e = old })
+			j.pushVRMTRestore(seq, e)
 			pcOut := e.PC
 			*e = Entry{}
 			pc, found = pcOut, true
@@ -182,11 +200,9 @@ func (v *VRMT) InvalidateByVReg(seq uint64, vreg int, j *Journal) (pc uint64, fo
 	if v.unbounded != nil {
 		for key, e := range v.unbounded {
 			if e.VReg == vreg {
-				prev := e
-				k := key
-				j.Push(seq, func() { v.unbounded[k] = prev })
-				delete(v.unbounded, k)
-				return prev.PC, true
+				j.pushVRMTReinsert(seq, v, key, e)
+				delete(v.unbounded, key)
+				return e.PC, true
 			}
 		}
 		return 0, false

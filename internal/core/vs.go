@@ -1,0 +1,14 @@
+package core
+
+// VSEntry is the decode-side vector/scalar rename state of one logical
+// register — the V/S flag and offset columns of the modified rename table
+// (Figure 6): which vector register and element currently hold the logical
+// register's latest value. The pipeline owns the table itself (one entry
+// per logical register); the type lives here with the other SDV rename
+// structures so the journal can snapshot entries without allocating.
+type VSEntry struct {
+	IsVector bool
+	VReg     int
+	VEpoch   uint64
+	Offset   int
+}

@@ -34,8 +34,20 @@ func NewStream(m *Machine, n int) *Stream {
 // number, producing it from the machine if it has not been generated yet.
 // ok is false once the stream is positioned past the halt instruction.
 func (s *Stream) Next() (DynInst, bool) {
-	if s.done && s.pos > s.last {
+	d, ok := s.NextRef()
+	if !ok {
 		return DynInst{}, false
+	}
+	return *d, true
+}
+
+// NextRef is Next without the copy: the returned pointer aims into the
+// replay window and stays valid until the window wraps past its sequence
+// number (at least the in-flight capacity of any caller). The timing
+// pipeline's fetch stage uses it on the per-instruction hot path.
+func (s *Stream) NextRef() (*DynInst, bool) {
+	if s.done && s.pos > s.last {
+		return nil, false
 	}
 	for s.pos >= s.filled {
 		d := s.m.Step()
@@ -48,9 +60,9 @@ func (s *Stream) Next() (DynInst, bool) {
 		}
 	}
 	if s.pos >= s.filled { // halted before reaching pos
-		return DynInst{}, false
+		return nil, false
 	}
-	d := s.window[s.pos%uint64(len(s.window))]
+	d := &s.window[s.pos%uint64(len(s.window))]
 	s.pos++
 	return d, true
 }

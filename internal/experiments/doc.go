@@ -1,0 +1,13 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§4) plus the headline numbers quoted in the abstract and
+// conclusions. Each experiment returns a Table whose rows are benchmarks
+// (with INT / FP / Spec95 aggregate rows) so the output can be compared
+// against the published charts shape-for-shape.
+//
+// The Runner executes (configuration, benchmark) pairs on a worker pool
+// with single-flight memoisation: figures that share simulations (e.g. the
+// Figure 11/12 sweep) run each one once, and -parallel N fans independent
+// runs across cores with output identical to a sequential run. See
+// EXPERIMENTS.md for paper-vs-measured results and the performance
+// methodology, and ARCHITECTURE.md for the figure → code map.
+package experiments

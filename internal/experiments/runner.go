@@ -1,8 +1,3 @@
-// Package experiments regenerates every figure and table of the paper's
-// evaluation (§4) plus the headline numbers quoted in the abstract and
-// conclusions. Each experiment returns a Table whose rows are benchmarks
-// (with INT / FP / Spec95 aggregate rows) so the output can be compared
-// against the published charts shape-for-shape.
 package experiments
 
 import (

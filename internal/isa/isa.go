@@ -1,15 +1,3 @@
-// Package isa defines the instruction set architecture simulated by this
-// repository: a 64-bit load/store RISC machine with 32 integer and 32
-// floating-point registers.
-//
-// The ISA plays the role of the Alpha subset that the paper's SimpleScalar
-// substrate executes. It is deliberately regular: every instruction has at
-// most one destination and two register sources, loads and stores move
-// 64-bit words (the paper's vector element size), and branches carry
-// absolute instruction-index targets resolved by the assembler.
-//
-// Program counters are instruction indices; TextBase and InstBytes map them
-// to the byte addresses seen by the instruction cache.
 package isa
 
 import "fmt"

@@ -1,9 +1,3 @@
-// Package mem models the memory hierarchy of Table 1: split L1 caches, a
-// unified L2, MSHR-limited outstanding misses and the scalar/wide data
-// ports that the paper's evaluation sweeps over.
-//
-// The timing simulator is trace-driven — data values come from the
-// functional emulator — so caches track only tags and timing.
 package mem
 
 import "fmt"
@@ -41,10 +35,15 @@ type line struct {
 	lru   uint64 // last-access stamp
 }
 
-// Cache is one set-associative, write-back, LRU cache level.
+// Cache is one set-associative, write-back, LRU cache level. The tag
+// array is one contiguous slice (set i occupies lines[i*assoc:(i+1)*assoc])
+// so constructing a cache is two allocations, not one per set — the
+// experiment harness builds hundreds of simulators per sweep.
 type Cache struct {
 	cfg      CacheConfig
-	sets     [][]line
+	lines    []line
+	nsets    uint64
+	assoc    int
 	lineBits uint
 	stamp    uint64
 
@@ -61,15 +60,17 @@ func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
-	}
 	bits := uint(0)
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		bits++
 	}
-	return &Cache{cfg: cfg, sets: sets, lineBits: bits}
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]line, cfg.Sets()*cfg.Assoc),
+		nsets:    uint64(cfg.Sets()),
+		assoc:    cfg.Assoc,
+		lineBits: bits,
+	}
 }
 
 // Config returns the cache geometry.
@@ -127,15 +128,13 @@ func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
 // InvalidateAll clears the cache (context-switch style reset; used by
 // tests).
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 }
 
 func (c *Cache) locate(addr uint64) ([]line, uint64) {
 	lineAddr := addr >> c.lineBits
-	idx := lineAddr % uint64(len(c.sets))
-	return c.sets[idx], lineAddr / uint64(len(c.sets))
+	idx := lineAddr % c.nsets
+	return c.lines[idx*uint64(c.assoc) : (idx+1)*uint64(c.assoc)], lineAddr / c.nsets
 }

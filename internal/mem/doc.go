@@ -1,0 +1,12 @@
+// Package mem models the memory hierarchy of Table 1: split L1 caches, a
+// unified L2, MSHR-limited outstanding misses and the scalar/wide data
+// ports that the paper's evaluation sweeps over.
+//
+// The timing simulator is trace-driven — data values come from the
+// functional emulator — so caches track only tags and timing. Cache tag
+// arrays are single contiguous allocations (the experiment harness builds
+// hundreds of simulators per sweep), and Ports arbitrates the L1D ports
+// per cycle: with a wide bus one access transfers a whole line and may
+// serve several pending loads (§3.7); with scalar buses an access moves a
+// single 64-bit word.
+package mem

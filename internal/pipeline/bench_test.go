@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"testing"
+
+	"specvec/internal/config"
+	"specvec/internal/workload"
+)
+
+// BenchmarkSteadyStateCycleLoop measures the per-cycle cost of the warm
+// pipeline (pools, journal stacks and rings at their high-water marks) —
+// the figure every experiment sweep is made of. Run with -benchmem: the
+// B/op column is the steady-state allocation regression number.
+func BenchmarkSteadyStateCycleLoop(b *testing.B) {
+	for _, mode := range []config.Mode{config.ModeIM, config.ModeV} {
+		b.Run(mode.String(), func(b *testing.B) {
+			bench, err := workload.Get("swim")
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := bench.Build(1<<30, 1)
+			s, err := New(config.MustNamed(4, 1, mode), prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for s.sim.Committed < 50_000 && !s.halted {
+				s.step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.halted {
+					b.Fatal("program halted mid-benchmark: raise the build scale")
+				}
+				s.step()
+			}
+			b.ReportMetric(float64(s.sim.Committed)/float64(s.cycle), "IPC")
+		})
+	}
+}
+
+// BenchmarkSquashRecovery measures the squash-and-replay path (journal
+// rewind, stream reposition, pool recycling) under the §3.6 store-conflict
+// hammer.
+func BenchmarkSquashRecovery(b *testing.B) {
+	prog := storeConflictLoop(1 << 20)
+	s, err := New(config.MustNamed(4, 1, config.ModeV), prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s.sim.Committed < 20_000 && !s.halted {
+		s.step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.halted {
+			b.Fatal("program halted mid-benchmark: raise the loop count")
+		}
+		s.step()
+	}
+	b.ReportMetric(float64(s.sim.Squashed)/float64(s.cycle), "squashed/cycle")
+}

@@ -8,19 +8,21 @@ import "specvec/internal/isa"
 // every younger instruction. Validation commits set element V flags;
 // overwrites of a logical register set the F flag of the previous mapping;
 // committed backward branches update the GMRBB and trigger register
-// reclamation (§3.3).
+// reclamation (§3.3). Retired uops return to the pool, which bumps their
+// generation: any surviving reference (a consumer's dep, a rename-table
+// entry) then reads as completed.
 func (s *Simulator) commit() {
 	budget := s.cfg.CommitWidth
 	stores := 0
-	for budget > 0 && len(s.rob) > 0 {
-		u := s.rob[0]
+	for budget > 0 && s.rob.len() > 0 {
+		u := s.rob.front()
 		if !u.completed(s.cycle) {
 			return
 		}
 		in := u.d.Inst
 
 		if u.d.Halt {
-			s.rob = s.rob[1:]
+			s.rob.popFront()
 			s.halted = true
 			s.lastCommitCycle = s.cycle
 			return
@@ -38,7 +40,7 @@ func (s *Simulator) commit() {
 			stores++
 		}
 
-		s.rob = s.rob[1:]
+		s.rob.popFront()
 		s.removeLSQ(u)
 		budget--
 		s.sim.Committed++
@@ -122,19 +124,48 @@ func (s *Simulator) commit() {
 				s.sim.StoreConflicts++
 				s.vrmt.InvalidateByVReg(u.d.Seq, id, nil)
 				s.squash(u.d.Seq + 1)
+				s.recycle(u)
 				return
 			}
 		}
+
+		s.recycle(u)
 	}
 }
 
+// recycle returns a retired uop to the pool. If the front end is still
+// stalled on it (a mispredicted branch can commit in the same cycle that
+// fetch would observe its completion), the stall is resolved here with the
+// same redirect arithmetic fetch would have applied.
+func (s *Simulator) recycle(u *uop) {
+	if s.fetchStall == u {
+		if at := u.doneAt + uint64(s.cfg.MispredictPenalty); at > s.fetchReadyAt {
+			s.fetchReadyAt = at
+		}
+		s.fetchStall = nil
+	}
+	s.uops.put(u)
+}
+
+// removeLSQ drops a committing memory op from the load/store queue. The
+// queue is program-ordered and commit retires in program order, so the op
+// is the queue's oldest entry.
 func (s *Simulator) removeLSQ(u *uop) {
 	if !u.inLSQ {
 		return
 	}
-	for i, e := range s.lsq {
-		if e == u {
-			s.lsq = append(s.lsq[:i], s.lsq[i+1:]...)
+	if s.lsq.len() > 0 && s.lsq.front() == u {
+		s.lsq.popFront()
+		return
+	}
+	// Unreachable by construction; kept as a safe fallback so a future
+	// out-of-order removal cannot corrupt the ring silently.
+	for p := s.lsq.head; p < s.lsq.tail; p++ {
+		if s.lsq.at(p) == u {
+			for q := p; q > s.lsq.head; q-- {
+				s.lsq.buf[q&s.lsq.mask] = s.lsq.buf[(q-1)&s.lsq.mask]
+			}
+			s.lsq.popFront()
 			return
 		}
 	}

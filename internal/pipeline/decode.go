@@ -10,12 +10,12 @@ import (
 // triggering, conversion into validations, operand checks, and the
 // scalar-operand decode block of §3.2.
 func (s *Simulator) decode() {
-	for n := 0; n < s.cfg.DecodeWidth && len(s.fetchBuf) > 0; n++ {
-		u := s.fetchBuf[0]
+	for n := 0; n < s.cfg.DecodeWidth && s.fetchBuf.len() > 0; n++ {
+		u := s.fetchBuf.front()
 		if s.robFull() || len(s.iq) >= s.cfg.IQSize {
 			return
 		}
-		if u.d.Inst.IsMem() && len(s.lsq) >= s.cfg.LSQSize {
+		if u.d.Inst.IsMem() && s.lsq.len() >= s.cfg.LSQSize {
 			return
 		}
 
@@ -25,7 +25,7 @@ func (s *Simulator) decode() {
 			if srcs[i].IsZero() {
 				continue
 			}
-			if w := s.lastWriter[srcs[i]]; w != nil && !w.completed(s.cycle) {
+			if w := s.lastWriter[srcs[i]]; w.inFlight(s.cycle) {
 				u.deps[i] = w
 			}
 		}
@@ -38,23 +38,27 @@ func (s *Simulator) decode() {
 			return
 		}
 
-		s.fetchBuf = s.fetchBuf[1:]
-		s.rob = append(s.rob, u)
-		s.iq = append(s.iq, u)
+		s.fetchBuf.popFront()
+		s.rob.push(u)
+		s.dispatch(u)
 		if u.d.Inst.IsMem() {
-			s.lsq = append(s.lsq, u)
+			u.lsqPos = s.lsq.push(u)
 			u.inLSQ = true
 		}
 
 		if u.d.Inst.WritesReg() {
 			rd := u.d.Inst.Rd
-			s.lastWriter[rd] = u
-			old := s.vs[rd]
-			s.jnl.Push(u.d.Seq, func() { s.vs[rd] = old })
+			s.lastWriter[rd] = uopRef{u: u, gen: u.gen}
+			next := core.VSEntry{}
 			if u.isValidation() {
-				s.vs[rd] = vsEntry{isVector: true, vreg: u.vreg, vepoch: u.vepoch, offset: u.elem}
-			} else {
-				s.vs[rd] = vsEntry{}
+				next = core.VSEntry{IsVector: true, VReg: u.vreg, VEpoch: u.vepoch, Offset: u.elem}
+			}
+			// Journal only real transitions: most instructions overwrite an
+			// already-scalar entry with the scalar state, and undoing a
+			// no-op restores nothing.
+			if s.vs[rd] != next {
+				s.jnl.PushVS(u.d.Seq, &s.vs[rd])
+				s.vs[rd] = next
 			}
 		}
 	}
@@ -101,38 +105,42 @@ func (s *Simulator) decodeLoadSDV(u *uop, stride int64, confident bool) {
 	seq, pc := u.d.Seq, u.d.PC
 	entry, found := s.vrmt.Lookup(pc)
 	if found && !s.vrf.ValidRef(entry.VReg, entry.VEpoch) {
-		s.vrmt.Invalidate(seq, pc, s.jnl)
+		s.vrmt.InvalidateEntry(seq, entry, s.jnl)
 		found = false
 	}
 	vl := s.cfg.VectorLen
 
 	if found {
-		r := s.vrf.Reg(entry.VReg)
-		if entry.Offset >= vl {
+		// Capture the mapping before makeValidation/Insert mutate the
+		// live entry in place.
+		eVReg, eVEpoch, eOffset := entry.VReg, entry.VEpoch, entry.Offset
+		r := s.vrf.Reg(eVReg)
+		if eOffset >= vl {
 			// Register exhausted: generate the next vectorized instance
 			// covering the following window (§3.2).
 			if r.ElemAddr(vl) == u.d.EffAddr && s.createVectorLoad(u, r.Stride) {
 				return
 			}
 			if r.ElemAddr(vl) != u.d.EffAddr {
-				s.loadMisspeculation(u)
+				s.loadMisspeculation(u, entry)
 				return
 			}
-			s.vrmt.Invalidate(seq, pc, s.jnl) // no free register: back to scalar
+			s.vrmt.InvalidateEntry(seq, entry, s.jnl) // no free register: back to scalar
 			return
 		}
-		if r.ElemAddr(entry.Offset) != u.d.EffAddr {
-			s.loadMisspeculation(u)
+		if r.ElemAddr(eOffset) != u.d.EffAddr {
+			s.loadMisspeculation(u, entry)
 			return
 		}
-		s.makeValidation(u, kindLoadValidation, entry.VReg, entry.VEpoch, entry.Offset)
+		nextBase, nextStride := r.ElemAddr(vl), r.Stride
+		s.makeValidation(u, kindLoadValidation, eVReg, eVEpoch, eOffset, entry)
 		// §3.2: "if the validated element is the last one of the vector, a
 		// new instance of the vectorized instruction is dispatched to the
 		// vector data-path" — the next window starts prefetching one
 		// iteration before its first validation arrives. If no register is
 		// free the offset-exhausted path above retries later.
-		if entry.Offset == vl-1 {
-			s.dispatchNextLoadWindow(u.d.Seq, u.d.PC, r.ElemAddr(vl), r.Stride)
+		if eOffset == vl-1 {
+			s.dispatchNextLoadWindow(u.d.Seq, u.d.PC, nextBase, nextStride)
 		}
 		return
 	}
@@ -145,9 +153,9 @@ func (s *Simulator) decodeLoadSDV(u *uop, stride int64, confident bool) {
 // loadMisspeculation handles a failed address check: the instance (and
 // following ones) execute in scalar mode and the TL must re-learn the
 // pattern (§3.1).
-func (s *Simulator) loadMisspeculation(u *uop) {
+func (s *Simulator) loadMisspeculation(u *uop, entry *core.Entry) {
 	u.fellBack = true
-	s.vrmt.Invalidate(u.d.Seq, u.d.PC, s.jnl)
+	s.vrmt.InvalidateEntry(u.d.Seq, entry, s.jnl)
 	s.tl.ResetConfidence(u.d.Seq, u.d.PC, s.jnl)
 }
 
@@ -164,23 +172,22 @@ func (s *Simulator) createVectorLoad(u *uop, stride int64) bool {
 		return false
 	}
 	s.vrf.SetRange(id, u.d.EffAddr, stride)
-	s.vrmt.Insert(u.d.Seq, core.Entry{PC: u.d.PC, VReg: id, VEpoch: epoch}, s.jnl)
+	slot := s.insertVRMT(u.d.Seq, core.Entry{PC: u.d.PC, VReg: id, VEpoch: epoch})
 
-	v := &vop{
-		isLoad: true,
-		op:     u.d.Inst.Op,
-		vreg:   id,
-		vepoch: epoch,
-		vl:     s.cfg.VectorLen,
-		groups: s.loadGroups(u.d.EffAddr, stride),
-	}
+	v := s.vops.get()
+	v.isLoad = true
+	v.op = u.d.Inst.Op
+	v.vreg = id
+	v.vepoch = epoch
+	v.vl = s.cfg.VectorLen
+	s.buildLoadGroups(v, u.d.EffAddr, stride)
 	s.viq = append(s.viq, v)
 
 	s.sim.VectorLoadInstances++
-	s.jnl.Push(u.d.Seq, func() { s.sim.VectorLoadInstances-- })
+	s.jnl.PushDec(u.d.Seq, &s.sim.VectorLoadInstances)
 
-	s.makeValidation(u, kindLoadValidation, id, epoch, 0)
-	u.producer = v
+	s.makeValidation(u, kindLoadValidation, id, epoch, 0, slot)
+	u.producer, u.producerGen = v, v.gen
 	return true
 }
 
@@ -199,39 +206,50 @@ func (s *Simulator) dispatchNextLoadWindow(seq, pc, base uint64, stride int64) {
 	}
 	s.vrf.SetRange(id, base, stride)
 	s.vrmt.Insert(seq, core.Entry{PC: pc, VReg: id, VEpoch: epoch}, s.jnl)
-	v := &vop{
-		isLoad: true,
-		vreg:   id,
-		vepoch: epoch,
-		vl:     s.cfg.VectorLen,
-		groups: s.loadGroups(base, stride),
-	}
+	v := s.vops.get()
+	v.isLoad = true
+	v.vreg = id
+	v.vepoch = epoch
+	v.vl = s.cfg.VectorLen
+	s.buildLoadGroups(v, base, stride)
 	s.viq = append(s.viq, v)
 	s.sim.VectorLoadInstances++
-	s.jnl.Push(seq, func() { s.sim.VectorLoadInstances-- })
+	s.jnl.PushDec(seq, &s.sim.VectorLoadInstances)
 }
 
-// loadGroups splits a vector load's element addresses into bus
+// insertVRMT installs a mapping and returns its live slot.
+func (s *Simulator) insertVRMT(seq uint64, e core.Entry) *core.Entry {
+	s.vrmt.Insert(seq, e, s.jnl)
+	slot, _ := s.vrmt.Lookup(e.PC)
+	return slot
+}
+
+// buildLoadGroups splits a vector load's element addresses into bus
 // transactions: one line per access on the wide bus, one element per
-// access on scalar buses (§3.7).
-func (s *Simulator) loadGroups(base uint64, stride int64) []loadGroup {
-	vl := s.cfg.VectorLen
-	var groups []loadGroup
+// access on scalar buses (§3.7). Groups live in the vop's pooled scratch.
+func (s *Simulator) buildLoadGroups(v *vop, base uint64, stride int64) {
+	vl := v.vl
+	if cap(v.elemsBuf) < vl {
+		// Reserve up front: groups alias subranges of elemsBuf, so the
+		// backing array must not move mid-build.
+		v.elemsBuf = make([]int, 0, vl)
+	}
 	for i := 0; i < vl; i++ {
 		addr := base + uint64(int64(i)*stride)
+		v.elemsBuf = append(v.elemsBuf, i)
+		tail := v.elemsBuf[len(v.elemsBuf)-1:]
 		if !s.cfg.WideBus {
-			groups = append(groups, loadGroup{addr: addr, elems: []int{i}})
+			v.groups = append(v.groups, loadGroup{addr: addr, elems: tail})
 			continue
 		}
 		line := s.hier.DLineAddr(addr)
-		if len(groups) > 0 && groups[len(groups)-1].addr == line {
-			last := &groups[len(groups)-1]
-			last.elems = append(last.elems, i)
+		if n := len(v.groups); n > 0 && v.groups[n-1].addr == line {
+			last := &v.groups[n-1]
+			last.elems = last.elems[:len(last.elems)+1]
 			continue
 		}
-		groups = append(groups, loadGroup{addr: line, elems: []int{i}})
+		v.groups = append(v.groups, loadGroup{addr: line, elems: tail})
 	}
-	return groups
 }
 
 // decodeArithSDV handles arithmetic: propagation of the vectorizable
@@ -247,13 +265,13 @@ func (s *Simulator) decodeArithSDV(u *uop) (blocked bool) {
 
 	// Resolve current operands against the V/S rename state (Figure 6).
 	var cur [2]core.Operand
-	var curVS [2]vsEntry
+	var curVS [2]core.VSEntry
 	srcVals := [2]uint64{u.d.Src1Val, u.d.Src2Val}
 	for i := 0; i < nsrc; i++ {
 		r := srcs[i]
 		if !r.IsZero() {
-			if e := s.vs[r]; e.isVector && s.vrf.ValidRef(e.vreg, e.vepoch) {
-				cur[i] = core.Operand{Kind: core.OperandVector, VReg: e.vreg}
+			if e := s.vs[r]; e.IsVector && s.vrf.ValidRef(e.VReg, e.VEpoch) {
+				cur[i] = core.Operand{Kind: core.OperandVector, VReg: e.VReg}
 				curVS[i] = e
 				continue
 			}
@@ -271,7 +289,7 @@ func (s *Simulator) decodeArithSDV(u *uop) (blocked bool) {
 
 	entry, found := s.vrmt.Lookup(pc)
 	if found && !s.vrf.ValidRef(entry.VReg, entry.VEpoch) {
-		s.vrmt.Invalidate(seq, pc, s.jnl)
+		s.vrmt.InvalidateEntry(seq, entry, s.jnl)
 		found = false
 	}
 	if !found && !anyVector {
@@ -294,10 +312,10 @@ func (s *Simulator) decodeArithSDV(u *uop) (blocked bool) {
 				rec = entry.Src2
 			}
 			if rec.Kind == core.OperandScalar && cur[i].Kind == core.OperandScalar &&
-				u.deps[i] != nil && !u.deps[i].completed(s.cycle) {
+				u.deps[i].inFlight(s.cycle) {
 				if u.blockedCycles >= maxBlockCycles {
 					s.strikeChurn(seq, pc)
-					s.vrmt.Invalidate(seq, pc, s.jnl)
+					s.vrmt.InvalidateEntry(seq, entry, s.jnl)
 					return false // proceed in scalar mode
 				}
 				u.blockedCycles++
@@ -313,11 +331,11 @@ func (s *Simulator) decodeArithSDV(u *uop) (blocked bool) {
 			if anyVector && !s.churned(seq, pc) && s.createVectorArith(u, cur, curVS) {
 				return false
 			}
-			s.vrmt.Invalidate(seq, pc, s.jnl)
+			s.vrmt.InvalidateEntry(seq, entry, s.jnl)
 			return false
 		}
 		if entry.Src1.Matches(cur[0]) && entry.Src2.Matches(cur[1]) {
-			s.makeValidation(u, kindArithValidation, entry.VReg, entry.VEpoch, entry.Offset)
+			s.makeValidation(u, kindArithValidation, entry.VReg, entry.VEpoch, entry.Offset, entry)
 			return false
 		}
 		// A scalar value that differs on every instance is not a
@@ -336,7 +354,7 @@ func (s *Simulator) decodeArithSDV(u *uop) (blocked bool) {
 		if anyVector && !s.churned(seq, pc) && s.createVectorArith(u, cur, curVS) {
 			return false
 		}
-		s.vrmt.Invalidate(seq, pc, s.jnl)
+		s.vrmt.InvalidateEntry(seq, entry, s.jnl)
 		return false
 	}
 
@@ -368,8 +386,7 @@ func (s *Simulator) churned(seq, pc uint64) bool {
 	if *slot < churnGate {
 		return false
 	}
-	old := *slot
-	s.jnl.Push(seq, func() { *slot = old })
+	s.jnl.PushU8(seq, slot)
 	*slot -= churnDecay
 	return true
 }
@@ -377,8 +394,7 @@ func (s *Simulator) churned(seq, pc uint64) bool {
 // strikeChurn records a scalar-value mismatch for pc.
 func (s *Simulator) strikeChurn(seq, pc uint64) {
 	slot := &s.churn[pc%churnSlots]
-	old := *slot
-	s.jnl.Push(seq, func() { *slot = old })
+	s.jnl.PushU8(seq, slot)
 	if *slot > churnCap-churnStrike {
 		*slot = churnCap
 	} else {
@@ -390,7 +406,7 @@ func (s *Simulator) strikeChurn(seq, pc uint64) {
 // vector instance; u becomes the validation of its first element. The
 // instance starts at the greatest source offset (§3.4); elements below it
 // are never computed.
-func (s *Simulator) createVectorArith(u *uop, cur [2]core.Operand, curVS [2]vsEntry) bool {
+func (s *Simulator) createVectorArith(u *uop, cur [2]core.Operand, curVS [2]core.VSEntry) bool {
 	if len(s.viq) >= s.cfg.VIQSize {
 		s.countSkip(u.d.Seq)
 		return false
@@ -399,10 +415,10 @@ func (s *Simulator) createVectorArith(u *uop, cur [2]core.Operand, curVS [2]vsEn
 	offsetNonZero := false
 	for i := range cur {
 		if cur[i].Kind == core.OperandVector {
-			if curVS[i].offset > destStart {
-				destStart = curVS[i].offset
+			if curVS[i].Offset > destStart {
+				destStart = curVS[i].Offset
 			}
-			if curVS[i].offset != 0 {
+			if curVS[i].Offset != 0 {
 				offsetNonZero = true
 			}
 		}
@@ -412,24 +428,23 @@ func (s *Simulator) createVectorArith(u *uop, cur [2]core.Operand, curVS [2]vsEn
 		s.countSkip(u.d.Seq)
 		return false
 	}
-	s.vrmt.Insert(u.d.Seq, core.Entry{
+	slot := s.insertVRMT(u.d.Seq, core.Entry{
 		PC: u.d.PC, VReg: id, VEpoch: epoch, Offset: destStart,
 		Src1: cur[0], Src2: cur[1],
-	}, s.jnl)
+	})
 
-	v := &vop{
-		op:        u.d.Inst.Op,
-		vreg:      id,
-		vepoch:    epoch,
-		vl:        s.cfg.VectorLen,
-		destStart: destStart,
-		nextElem:  destStart,
-	}
+	v := s.vops.get()
+	v.op = u.d.Inst.Op
+	v.vreg = id
+	v.vepoch = epoch
+	v.vl = s.cfg.VectorLen
+	v.destStart = destStart
+	v.nextElem = destStart
 	for i := range cur {
 		switch cur[i].Kind {
 		case core.OperandVector:
-			v.srcs[i] = vsrc{kind: srcVector, vreg: curVS[i].vreg, vepoch: curVS[i].vepoch, start: curVS[i].offset}
-			s.vrf.Pin(curVS[i].vreg, curVS[i].vepoch)
+			v.srcs[i] = vsrc{kind: srcVector, vreg: curVS[i].VReg, vepoch: curVS[i].VEpoch, start: curVS[i].Offset}
+			s.vrf.Pin(curVS[i].VReg, curVS[i].VEpoch)
 		case core.OperandScalar, core.OperandImm:
 			v.srcs[i] = vsrc{kind: srcReady}
 		}
@@ -437,39 +452,35 @@ func (s *Simulator) createVectorArith(u *uop, cur [2]core.Operand, curVS [2]vsEn
 	s.viq = append(s.viq, v)
 
 	s.sim.VectorArithInstances++
+	s.jnl.PushDec(u.d.Seq, &s.sim.VectorArithInstances)
 	if offsetNonZero {
 		s.sim.VectorInstsOffsetNonZero++
+		s.jnl.PushDec(u.d.Seq, &s.sim.VectorInstsOffsetNonZero)
 	} else {
 		s.sim.VectorInstsOffsetZero++
+		s.jnl.PushDec(u.d.Seq, &s.sim.VectorInstsOffsetZero)
 	}
-	s.jnl.Push(u.d.Seq, func() {
-		s.sim.VectorArithInstances--
-		if offsetNonZero {
-			s.sim.VectorInstsOffsetNonZero--
-		} else {
-			s.sim.VectorInstsOffsetZero--
-		}
-	})
 
-	s.makeValidation(u, kindArithValidation, id, epoch, destStart)
-	u.producer = v
+	s.makeValidation(u, kindArithValidation, id, epoch, destStart, slot)
+	u.producer, u.producerGen = v, v.gen
 	return true
 }
 
 // makeValidation converts u into a validation of element elem: the U flag
 // is set, the VRMT offset advances, and (for arithmetic) register
 // dependences are dropped — operands were checked at decode and the result
-// is the already-(being-)computed element.
-func (s *Simulator) makeValidation(u *uop, kind uopKind, vreg int, epoch uint64, elem int) {
+// is the already-(being-)computed element. entry is the live VRMT slot for
+// u's PC (so the offset advance needs no second lookup).
+func (s *Simulator) makeValidation(u *uop, kind uopKind, vreg int, epoch uint64, elem int, entry *core.Entry) {
 	u.kind = kind
 	u.vreg, u.vepoch, u.elem = vreg, epoch, elem
 	s.vrf.SetUsed(u.d.Seq, vreg, epoch, elem, s.jnl)
-	s.vrmt.Advance(u.d.Seq, u.d.PC, s.jnl)
+	s.vrmt.AdvanceEntry(u.d.Seq, entry, s.jnl)
 	if u.producer == nil {
-		u.producer = s.findVop(vreg, epoch)
+		u.producer, u.producerGen = s.findVop(vreg, epoch)
 	}
 	if kind == kindArithValidation {
-		u.deps = [2]*uop{}
+		u.deps = [2]uopRef{}
 	}
 }
 
@@ -489,18 +500,18 @@ func (s *Simulator) allocVReg(seq, pc uint64, isLoad bool, start int) (int, uint
 }
 
 // findVop locates the in-flight vector instance writing (vreg, epoch).
-func (s *Simulator) findVop(vreg int, epoch uint64) *vop {
+func (s *Simulator) findVop(vreg int, epoch uint64) (*vop, uint64) {
 	for _, v := range s.viq {
 		if v.vreg == vreg && v.vepoch == epoch {
-			return v
+			return v, v.gen
 		}
 	}
-	return nil
+	return nil, 0
 }
 
 // countSkip records a vectorization opportunity lost to resource
 // exhaustion (no free vector register or full vector queue).
 func (s *Simulator) countSkip(seq uint64) {
 	s.sim.VRegAllocFailures++
-	s.jnl.Push(seq, func() { s.sim.VRegAllocFailures-- })
+	s.jnl.PushDec(seq, &s.sim.VRegAllocFailures)
 }

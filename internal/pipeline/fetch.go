@@ -6,7 +6,9 @@ import "specvec/internal/isa"
 // modelling I-cache latency, the one-taken-branch-per-cycle limit, and the
 // fetch stall on mispredicted control instructions (trace-driven recovery:
 // the correct path resumes once the branch resolves, plus a redirect
-// penalty).
+// penalty). Fetched uops come from the simulator's free-list pool; the
+// record held across an I-cache miss is kept by value so the stage never
+// allocates.
 func (s *Simulator) fetch() {
 	// A mispredicted control instruction blocks fetch until it resolves.
 	if s.fetchStall != nil {
@@ -21,7 +23,7 @@ func (s *Simulator) fetch() {
 	if s.fetchHalted || s.cycle < s.fetchReadyAt {
 		return
 	}
-	if len(s.fetchBuf) >= 2*s.cfg.FetchWidth {
+	if s.fetchBuf.len() >= 2*s.cfg.FetchWidth {
 		return
 	}
 
@@ -30,15 +32,15 @@ func (s *Simulator) fetch() {
 	haveLine := false
 
 	for n := 0; n < s.cfg.FetchWidth; n++ {
-		d := s.pending
-		if d == nil {
-			rec, ok := s.strm.Next()
+		d := &s.pendingInst
+		if !s.pendingValid {
+			rec, ok := s.strm.NextRef()
 			if !ok {
 				return
 			}
-			d = &rec
+			d = rec
 		}
-		s.pending = nil
+		s.pendingValid = false
 
 		byteAddr := isa.PCToByte(d.PC)
 		line := byteAddr / lineBytes
@@ -47,18 +49,21 @@ func (s *Simulator) fetch() {
 			if lat > 1 {
 				// I-cache miss: hold the record, resume when the line
 				// arrives (the fill has warmed the cache).
-				s.pending = d
+				s.pendingInst = *d
+				s.pendingValid = true
 				s.fetchReadyAt = s.cycle + uint64(lat)
 				return
 			}
 			curLine, haveLine = line, true
 		} else if line != curLine {
 			// Fetch groups do not cross I-cache lines.
-			s.pending = d
+			s.pendingInst = *d
+			s.pendingValid = true
 			return
 		}
 
-		u := &uop{d: *d}
+		u := s.uops.get()
+		u.d = *d
 		replayed := s.hasFetched && d.Seq <= s.maxFetchedSeq
 		if !replayed {
 			s.maxFetchedSeq, s.hasFetched = d.Seq, true
@@ -81,7 +86,7 @@ func (s *Simulator) fetch() {
 			}
 		}
 
-		s.fetchBuf = append(s.fetchBuf, u)
+		s.fetchBuf.push(u)
 
 		if d.Halt {
 			s.fetchHalted = true

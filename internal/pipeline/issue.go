@@ -1,27 +1,124 @@
 package pipeline
 
-import "specvec/internal/isa"
+import (
+	"math/bits"
+
+	"specvec/internal/isa"
+)
+
+// Issue-stage scheduling. Instead of re-testing every issue-queue entry's
+// register dependences each cycle, the queue keeps a ready bitset
+// scoreboard over its (program-ordered) positions: a bit is set once every
+// in-flight producer of the entry has issued, i.e. the entry's earliest
+// possible issue cycle (readyAt = max producer completion) is known.
+// Producers wake their waiters when they issue; entries whose readiness
+// depends on non-register state (validations polling the vector register
+// file, loads gated by the LSQ and memory ports) keep their bit set and
+// are re-tested against that state only.
+
+// setReady marks iq position idx as schedulable.
+func (s *Simulator) setReady(idx int32) {
+	s.readyBits[idx>>6] |= 1 << (idx & 63)
+}
+
+// dispatch places u in the issue queue and wires its wakeup state: known
+// producers contribute their completion cycle to readyAt; still-unissued
+// producers get u appended to their waiter list.
+func (s *Simulator) dispatch(u *uop) {
+	u.readyAt = 0
+	u.pendingDeps = 0
+	for i := range u.deps {
+		d := u.deps[i]
+		if d.u == nil || d.u.gen != d.gen {
+			continue
+		}
+		if d.u.issued {
+			if d.u.doneAt > u.readyAt {
+				u.readyAt = d.u.doneAt
+			}
+		} else {
+			d.u.waiters = append(d.u.waiters, uopRef{u: u, gen: u.gen})
+			u.pendingDeps++
+		}
+	}
+	u.iqIdx = int32(len(s.iq))
+	s.iq = append(s.iq, u)
+	if u.pendingDeps == 0 {
+		s.setReady(u.iqIdx)
+	}
+}
+
+// markIssued records u's issue and completion cycle and wakes consumers
+// waiting on its result.
+func (s *Simulator) markIssued(u *uop, doneAt uint64) {
+	u.issued, u.doneAt = true, doneAt
+	for _, w := range u.waiters {
+		c := w.u
+		if c == nil || c.gen != w.gen {
+			continue
+		}
+		if doneAt > c.readyAt {
+			c.readyAt = doneAt
+		}
+		if c.pendingDeps--; c.pendingDeps == 0 {
+			s.setReady(c.iqIdx)
+		}
+	}
+	u.waiters = u.waiters[:0]
+}
 
 // issueScalar selects up to IssueWidth ready instructions from the issue
-// queue, oldest first, and starts their execution.
+// queue, oldest first, and starts their execution. Only positions flagged
+// in the ready scoreboard are visited; a one-word comparison skips entries
+// whose operands are scheduled but not yet complete.
 func (s *Simulator) issueScalar() {
 	budget := s.cfg.IssueWidth
-	for _, u := range s.iq {
-		if budget == 0 {
-			break
+	issued := 0
+	nw := (len(s.iq) + 63) >> 6
+scan:
+	for w := 0; w < nw; w++ {
+		// Re-read the scoreboard word after every visit: issuing a
+		// validation completes it this cycle, which can make a younger
+		// entry in the same word ready right now (same-cycle wakeup). The
+		// visited mask keeps each position to one attempt per cycle.
+		visited := uint64(0)
+		for {
+			word := s.readyBits[w] &^ visited
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			visited |= 1 << b
+			u := s.iq[w<<6|b]
+			if u.readyAt > s.cycle {
+				continue
+			}
+			if s.tryIssue(u) {
+				issued++
+				if budget--; budget == 0 {
+					break scan
+				}
+			}
 		}
+	}
+	if issued > 0 {
+		s.compactIQ()
+	}
+}
+
+// compactIQ drops issued entries, renumbers the survivors and rebuilds the
+// ready scoreboard (positions shift left; readiness is preserved).
+func (s *Simulator) compactIQ() {
+	clear(s.readyBits)
+	live := s.iq[:0]
+	for _, u := range s.iq {
 		if u.issued {
 			continue
 		}
-		if s.tryIssue(u) {
-			budget--
-		}
-	}
-	// Drop issued entries from the queue.
-	live := s.iq[:0]
-	for _, u := range s.iq {
-		if !u.issued {
-			live = append(live, u)
+		u.iqIdx = int32(len(live))
+		live = append(live, u)
+		if u.pendingDeps == 0 {
+			s.setReady(u.iqIdx)
 		}
 	}
 	s.iq = live
@@ -42,13 +139,13 @@ func (s *Simulator) tryIssue(u *uop) bool {
 		if !u.depsReady(s.cycle) {
 			return false
 		}
-		u.issued, u.doneAt = true, s.cycle+1
+		s.markIssued(u, s.cycle+1)
 		return true
 	case u.d.Halt, in.Op == isa.OpNop, isa.ClassOf(in.Op) == isa.FUNone:
 		if !u.depsReady(s.cycle) {
 			return false
 		}
-		u.issued, u.doneAt = true, s.cycle+1
+		s.markIssued(u, s.cycle+1)
 		return true
 	default:
 		if !u.depsReady(s.cycle) {
@@ -58,7 +155,7 @@ func (s *Simulator) tryIssue(u *uop) bool {
 		if !s.pools[cls].tryIssue(s.cycle, lat, isa.Pipelined(in.Op)) {
 			return false
 		}
-		u.issued, u.doneAt = true, s.cycle+uint64(lat)
+		s.markIssued(u, s.cycle+uint64(lat))
 		return true
 	}
 }
@@ -71,7 +168,7 @@ func (s *Simulator) issueArithValidation(u *uop) bool {
 	if s.vrf.ElemReady(u.vreg, u.vepoch, u.elem, s.cycle) {
 		// The element's data already exists in the vector register; the
 		// check completes immediately (validations are off the data path).
-		u.issued, u.doneAt = true, s.cycle
+		s.markIssued(u, s.cycle)
 		return true
 	}
 	if s.elemDead(u) {
@@ -88,7 +185,7 @@ func (s *Simulator) issueLoadValidation(u *uop) bool {
 		return false
 	}
 	if s.vrf.ElemReady(u.vreg, u.vepoch, u.elem, s.cycle) {
-		u.issued, u.doneAt = true, s.cycle
+		s.markIssued(u, s.cycle)
 		return true
 	}
 	if s.elemDead(u) {
@@ -100,7 +197,9 @@ func (s *Simulator) issueLoadValidation(u *uop) bool {
 
 // elemDead reports that the awaited element will never be scheduled: the
 // register reference went stale or the producing instance aborted before
-// reaching it.
+// reaching it. A recycled producer reference is dead too — an instance is
+// only recycled after scheduling every element (in which case
+// ElemScheduled above reports true first) or after aborting.
 func (s *Simulator) elemDead(u *uop) bool {
 	if !s.vrf.ValidRef(u.vreg, u.vepoch) {
 		return true
@@ -108,7 +207,8 @@ func (s *Simulator) elemDead(u *uop) bool {
 	if s.vrf.ElemScheduled(u.vreg, u.vepoch, u.elem) {
 		return false // data is on its way
 	}
-	return u.producer == nil || u.producer.aborted
+	p := u.liveProducer()
+	return p == nil || p.aborted
 }
 
 // fallBack converts a validation into ordinary scalar execution and
@@ -126,16 +226,11 @@ func (s *Simulator) issueLoad(u *uop) bool {
 	if !u.addrReady(s.cycle) {
 		return false
 	}
-	// Scan older stores in the LSQ.
-	pos := -1
-	for i, e := range s.lsq {
-		if e == u {
-			pos = i
-			break
-		}
-	}
-	for i := pos - 1; i >= 0; i-- {
-		st := s.lsq[i]
+	// Walk older LSQ entries (the ring is program-ordered; u.lsqPos is its
+	// absolute position, so no scan is needed to find it).
+	for p := u.lsqPos; p > s.lsq.head; {
+		p--
+		st := s.lsq.at(p)
 		if !st.d.Inst.IsStore() {
 			continue
 		}
@@ -146,7 +241,7 @@ func (s *Simulator) issueLoad(u *uop) bool {
 			if !st.dataReady(s.cycle) {
 				return false
 			}
-			u.issued, u.doneAt = true, s.cycle+1 // forwarded, no port
+			s.markIssued(u, s.cycle+1) // forwarded, no port
 			return true
 		}
 	}
@@ -155,10 +250,10 @@ func (s *Simulator) issueLoad(u *uop) bool {
 	// line matches (§3.7: up to 4 pending loads per access).
 	if s.ports.Wide() {
 		line := s.hier.DLineAddr(u.d.EffAddr)
-		if m := s.merges[line]; m != nil && m.loads < s.cfg.MaxLoadsPerWideAccess {
+		if m := s.merges.lookup(line); m != nil && m.loads < s.cfg.MaxLoadsPerWideAccess {
 			m.loads++
-			m.words[u.wordAddr()] = true
-			u.issued, u.doneAt = true, m.at
+			m.addWord(u.wordAddr())
+			s.markIssued(u, m.at)
 			s.sim.LoadsMerged++
 			return true
 		}
@@ -175,14 +270,12 @@ func (s *Simulator) issueLoad(u *uop) bool {
 		addr = s.hier.DLineAddr(addr)
 	}
 	lat := s.hier.AccessData(addr, false, s.cycle)
-	u.issued, u.doneAt = true, s.cycle+uint64(lat)
+	s.markIssued(u, s.cycle+uint64(lat))
 	s.sim.ScalarAccesses++
 	if s.ports.Wide() {
-		s.merges[addr] = &mergeState{
-			loads: 1,
-			words: map[uint64]bool{u.wordAddr(): true},
-			at:    u.doneAt,
-		}
+		m := s.merges.add(addr, u.doneAt, false)
+		m.loads = 1
+		m.addWord(u.wordAddr())
 	}
 	return true
 }
@@ -190,13 +283,15 @@ func (s *Simulator) issueLoad(u *uop) bool {
 // issueVector advances the vector datapath: loads fetch their line groups
 // through the shared memory ports; arithmetic instances start one element
 // per cycle on a pipelined vector unit once that element's sources are
-// ready (chaining, §3.4).
+// ready (chaining, §3.4). Drained and aborted instances return to the
+// pool.
 func (s *Simulator) issueVector() {
 	live := s.viq[:0]
 	for _, v := range s.viq {
 		if v.aborted || !s.vrf.ValidRef(v.vreg, v.vepoch) {
 			v.aborted = true
 			s.unpinSources(v)
+			s.vops.put(v)
 			continue
 		}
 		if v.isLoad {
@@ -205,7 +300,7 @@ func (s *Simulator) issueVector() {
 				// §3.7: one wide access serves every pending load of the
 				// line, including other vector instances' elements.
 				if s.ports.Wide() {
-					if m := s.merges[g.addr]; m != nil {
+					if m := s.merges.lookup(g.addr); m != nil {
 						for _, e := range g.elems {
 							s.vrf.MarkComputed(v.vreg, v.vepoch, e, m.at)
 						}
@@ -225,7 +320,7 @@ func (s *Simulator) issueVector() {
 				}
 				if s.ports.Wide() {
 					s.vrf.AddLineUse(v.vreg, v.vepoch, g.addr, g.elems)
-					s.merges[g.addr] = &mergeState{at: done, vector: true, words: map[uint64]bool{}}
+					s.merges.add(g.addr, done, true)
 				}
 				s.sim.VectorAccesses++
 				v.nextGroup++
@@ -239,6 +334,7 @@ func (s *Simulator) issueVector() {
 		}
 		if v.done() {
 			s.unpinSources(v)
+			s.vops.put(v)
 			continue
 		}
 		live = append(live, v)

@@ -9,19 +9,9 @@ import (
 	"specvec/internal/emu"
 	"specvec/internal/isa"
 	"specvec/internal/mem"
+	"specvec/internal/profile"
 	"specvec/internal/stats"
 )
-
-// vsEntry is the decode-side vector/scalar rename state per logical
-// register (the V/S flag and offset of the modified rename table, Figure
-// 6): which vector register and element currently hold the register's
-// latest value.
-type vsEntry struct {
-	isVector bool
-	vreg     int
-	vepoch   uint64
-	offset   int
-}
 
 // vref names a committed vector element mapping (for F-flag bookkeeping).
 type vref struct {
@@ -32,6 +22,12 @@ type vref struct {
 }
 
 // Simulator is one configured processor running one program.
+//
+// The per-cycle loop is allocation-free in steady state: uops and vector
+// instances come from free-list pools (recycled at commit, squash or
+// drain), the program-ordered windows are fixed-capacity rings, the issue
+// queue is scheduled through a ready bitset fed by wakeup lists, and all
+// decode-side speculative state is journalled through typed undo records.
 type Simulator struct {
 	cfg  config.Config
 	sim  *stats.Sim
@@ -52,16 +48,26 @@ type Simulator struct {
 	cycle  uint64
 	halted bool
 
-	// Windows. rob/iq/lsq hold pointers in program order; viq holds vector
-	// instances.
-	rob []*uop
+	// Pools: recycle-on-commit/squash free lists.
+	uops uopPool
+	vops vopPool
+
+	// Windows. rob/lsq are program-ordered rings; iq holds not-yet-issued
+	// entries in program order with a parallel ready bitset (issue.go);
+	// viq holds vector instances.
+	rob *uopRing
 	iq  []*uop
-	lsq []*uop
+	lsq *uopRing
 	viq []*vop
 
+	// readyBits marks iq positions whose register sources all have known
+	// completion times (pendingDeps == 0); issue scans only these.
+	readyBits []uint64
+
 	// Front end.
-	fetchBuf        []*uop
-	pending         *emu.DynInst // fetched record waiting for the I-cache
+	fetchBuf        *uopRing
+	pendingInst     emu.DynInst // fetched record waiting for the I-cache
+	pendingValid    bool
 	fetchReadyAt    uint64
 	fetchStall      *uop // unresolved mispredicted control instruction
 	fetchHalted     bool
@@ -75,12 +81,13 @@ type Simulator struct {
 	vpools [isa.NumFUClasses]*fuPool
 
 	// Rename-side state.
-	lastWriter [isa.NumLogicalRegs]*uop
-	vs         [isa.NumLogicalRegs]vsEntry
+	lastWriter [isa.NumLogicalRegs]uopRef
+	vs         [isa.NumLogicalRegs]core.VSEntry
 	prevCommit [isa.NumLogicalRegs]vref
 
-	// Per-cycle wide-bus merge state: line address -> merge record.
-	merges map[uint64]*mergeState
+	// Outstanding wide-bus merge windows (MSHR secondary-miss merging),
+	// in insertion order.
+	merges mergeTable
 
 	// Churn cooldown levels per PC slot (see decode.go).
 	churn [churnSlots]uint8
@@ -91,11 +98,83 @@ type Simulator struct {
 	lastCommitCycle uint64
 }
 
-type mergeState struct {
+// mergeEntry is one outstanding wide-bus line access that later loads of
+// the same line may merge into.
+type mergeEntry struct {
+	line   uint64
 	loads  int
-	words  map[uint64]bool
 	at     uint64 // completion cycle of the access
 	vector bool   // issued by a vector load (words accounted via LineUse)
+	words  []uint64
+}
+
+// mergeTable holds the outstanding merge windows as a small ordered slice
+// (bounded by the MSHR count), with pooled word-address scratch so lookups
+// and retirement never allocate in steady state.
+type mergeTable struct {
+	entries []mergeEntry
+	spare   [][]uint64
+}
+
+func (t *mergeTable) empty() bool { return len(t.entries) == 0 }
+
+func (t *mergeTable) lookup(line uint64) *mergeEntry {
+	for i := range t.entries {
+		if t.entries[i].line == line {
+			return &t.entries[i]
+		}
+	}
+	return nil
+}
+
+// add opens a merge window for line. A still-outstanding window for the
+// same line (its merge quota exhausted, forcing this new access) is
+// replaced: its pending word accounting is discarded, exactly as the
+// retired access never having entered the Figure 13 histogram.
+func (t *mergeTable) add(line, at uint64, vector bool) *mergeEntry {
+	m := t.lookup(line)
+	if m == nil {
+		var words []uint64
+		if n := len(t.spare); n > 0 {
+			words = t.spare[n-1][:0]
+			t.spare = t.spare[:n-1]
+		}
+		t.entries = append(t.entries, mergeEntry{line: line, at: at, vector: vector, words: words})
+		return &t.entries[len(t.entries)-1]
+	}
+	m.loads = 0
+	m.at = at
+	m.vector = vector
+	m.words = m.words[:0]
+	return m
+}
+
+// addWord records one distinct 8-byte word served by the access.
+func (m *mergeEntry) addWord(addr uint64) {
+	for _, w := range m.words {
+		if w == addr {
+			return
+		}
+	}
+	m.words = append(m.words, addr)
+}
+
+// flush retires every window whose data has arrived, calling fn on each
+// before removal; the remaining windows keep their insertion order.
+func (t *mergeTable) flush(cycle uint64, fn func(*mergeEntry)) {
+	live := t.entries[:0]
+	for i := range t.entries {
+		m := &t.entries[i]
+		if m.at > cycle {
+			live = append(live, *m)
+			continue
+		}
+		fn(m)
+		if m.words != nil {
+			t.spare = append(t.spare, m.words[:0])
+		}
+	}
+	t.entries = live
 }
 
 // New builds a simulator for prog under cfg.
@@ -109,16 +188,21 @@ func New(cfg config.Config, prog *isa.Program) (*Simulator, error) {
 	}
 	sim := stats.New()
 	s := &Simulator{
-		cfg:    cfg,
-		sim:    sim,
-		mach:   mach,
-		strm:   emu.NewStream(mach, 0),
-		hier:   mem.NewHierarchy(cfg.Mem, sim),
-		ports:  mem.NewPorts(cfg.MemPorts, cfg.WideBus, sim),
-		pred:   branch.New(cfg.Branch),
-		jnl:    core.NewJournal(),
-		merges: make(map[uint64]*mergeState),
+		cfg:      cfg,
+		sim:      sim,
+		mach:     mach,
+		strm:     emu.NewStream(mach, 0),
+		hier:     mem.NewHierarchy(cfg.Mem, sim),
+		ports:    mem.NewPorts(cfg.MemPorts, cfg.WideBus, sim),
+		pred:     branch.New(cfg.Branch),
+		jnl:      core.NewJournal(),
+		rob:      newUopRing(cfg.ROBSize),
+		lsq:      newUopRing(cfg.LSQSize),
+		fetchBuf: newUopRing(3 * cfg.FetchWidth),
+		iq:       make([]*uop, 0, cfg.IQSize),
+		viq:      make([]*vop, 0, cfg.VIQSize),
 	}
+	s.readyBits = make([]uint64, (cfg.IQSize+63)/64+1)
 	tlSets, vrmtSets, vregs := cfg.TLSets, cfg.VRMTSets, cfg.VectorRegs
 	if cfg.Unbounded {
 		tlSets, vrmtSets, vregs = 0, 0, 0
@@ -147,6 +231,19 @@ func (s *Simulator) Machine() *emu.Machine { return s.mach }
 
 // Cycle returns the current cycle number.
 func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// HotStats reports hot-path health counters: pool allocation misses vs
+// recycles and the undo-journal depth. In steady state news stay flat
+// while recycles grow.
+func (s *Simulator) HotStats() profile.HotStats {
+	return profile.HotStats{
+		UopNews:      s.uops.news,
+		UopRecycles:  s.uops.recycles,
+		VopNews:      s.vops.news,
+		VopRecycles:  s.vops.recycles,
+		JournalDepth: uint64(s.jnl.Len()),
+	}
+}
 
 // Run simulates until the program halts or maxInsts instructions commit,
 // then finalises statistics. It errors if the pipeline deadlocks.
@@ -181,32 +278,41 @@ func (s *Simulator) step() {
 }
 
 // robFull reports whether dispatch must stall.
-func (s *Simulator) robFull() bool { return len(s.rob) >= s.cfg.ROBSize }
+func (s *Simulator) robFull() bool { return s.rob.len() >= s.cfg.ROBSize }
 
 // squash flushes every in-flight instruction with sequence >= fromSeq:
 // decode-side SDV/rename state is rewound through the journal, the stream
 // is repositioned, and the front end restarts after a redirect penalty.
 // Vector instances are not squashed (§3.5, §3.6) unless their destination
-// register allocation itself was rewound (epoch bump aborts them).
+// register allocation itself was rewound (epoch bump aborts them). Flushed
+// uops return to the pool; their generation bump invalidates every
+// surviving reference.
 func (s *Simulator) squash(fromSeq uint64) {
 	flushed := 0
-	for _, u := range s.rob {
-		if u.d.Seq >= fromSeq {
+	for p := s.rob.head; p < s.rob.tail; p++ {
+		if s.rob.at(p).d.Seq >= fromSeq {
 			flushed++
 		}
 	}
-	s.sim.Squashed += uint64(flushed) + uint64(len(s.fetchBuf))
+	s.sim.Squashed += uint64(flushed) + uint64(s.fetchBuf.len())
 
 	s.jnl.RewindTo(fromSeq)
 	s.strm.Rewind(fromSeq)
-	s.pending = nil
+	s.pendingValid = false
 
-	s.rob = s.rob[:0]
+	for s.rob.len() > 0 {
+		s.uops.put(s.rob.popFront())
+	}
+	for s.fetchBuf.len() > 0 {
+		s.uops.put(s.fetchBuf.popFront())
+	}
+	s.rob.clear()
+	s.lsq.clear()
+	s.fetchBuf.clear()
 	s.iq = s.iq[:0]
-	s.lsq = s.lsq[:0]
-	s.fetchBuf = s.fetchBuf[:0]
+	clear(s.readyBits)
 	for i := range s.lastWriter {
-		s.lastWriter[i] = nil
+		s.lastWriter[i] = uopRef{}
 	}
 
 	// Abort vector instances whose destination allocation was rewound.
@@ -215,6 +321,7 @@ func (s *Simulator) squash(fromSeq uint64) {
 		if !s.vrf.ValidRef(v.vreg, v.vepoch) {
 			v.aborted = true
 			s.unpinSources(v)
+			s.vops.put(v)
 			continue
 		}
 		live = append(live, v)
@@ -232,18 +339,15 @@ func (s *Simulator) squash(fromSeq uint64) {
 // mergeable while it is outstanding (MSHR secondary-miss merging), and its
 // words-used count enters the Figure 13 histogram when the data arrives.
 func (s *Simulator) flushMerges() {
-	if len(s.merges) == 0 {
+	if s.merges.empty() {
 		return
 	}
-	for line, m := range s.merges {
-		if m.at > s.cycle {
-			continue
-		}
-		if s.ports.Wide() && !m.vector {
+	wide := s.ports.Wide()
+	s.merges.flush(s.cycle, func(m *mergeEntry) {
+		if wide && !m.vector {
 			s.sim.WideBusWords.Add(len(m.words))
 		}
-		delete(s.merges, line)
-	}
+	})
 }
 
 func (s *Simulator) unpinSources(v *vop) {

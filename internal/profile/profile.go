@@ -1,0 +1,49 @@
+// Package profile carries lightweight hot-path health counters for the
+// cycle-level simulator, so the allocation-free steady state is measured
+// rather than asserted. The pipeline reports pool traffic (heap news vs
+// recycles) and journal depth through HotStats; MeasureAllocs gives a
+// dependency-free allocations-per-operation probe for benchmarks and
+// examples that cannot use testing.AllocsPerRun.
+package profile
+
+import "runtime"
+
+// HotStats is a snapshot of the simulator's hot-path recycling behaviour.
+// In steady state the News counters stay flat (every structure comes from
+// a free list) while the Recycles counters grow with simulated work.
+type HotStats struct {
+	UopNews      uint64 // uops allocated from the heap (pool misses)
+	UopRecycles  uint64 // uops returned to the free list
+	VopNews      uint64 // vector instances allocated from the heap
+	VopRecycles  uint64 // vector instances returned to the free list
+	JournalDepth uint64 // live undo records (bounded by the in-flight window)
+}
+
+// Sub returns the change from an earlier snapshot.
+func (h HotStats) Sub(prev HotStats) HotStats {
+	return HotStats{
+		UopNews:      h.UopNews - prev.UopNews,
+		UopRecycles:  h.UopRecycles - prev.UopRecycles,
+		VopNews:      h.VopNews - prev.VopNews,
+		VopRecycles:  h.VopRecycles - prev.VopRecycles,
+		JournalDepth: h.JournalDepth,
+	}
+}
+
+// MeasureAllocs runs fn rounds times and returns the mean number of heap
+// allocations per round, measured with runtime.MemStats (GC is forced
+// first so concurrent sweeps do not pollute the count). It is the
+// non-testing-package analogue of testing.AllocsPerRun.
+func MeasureAllocs(rounds int, fn func()) float64 {
+	if rounds <= 0 {
+		return 0
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(rounds)
+}

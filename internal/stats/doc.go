@@ -1,0 +1,9 @@
+// Package stats collects the simulator's counters and histograms.
+//
+// One Sim value is shared by the pipeline, caches, predictor and SDV
+// engine for a run; the experiments package derives every figure of the
+// paper from these fields. Histograms are fixed-bucket (no allocation on
+// the simulation hot path), and some counters are incremented
+// speculatively at decode and decremented through the journal on a squash
+// — see the PushDec records in internal/core.
+package stats

@@ -1,8 +1,3 @@
-// Package stats collects the simulator's counters and histograms.
-//
-// One Sim value is shared by the pipeline, caches, predictor and SDV engine
-// for a run; the experiments package derives every figure of the paper from
-// these fields.
 package stats
 
 import (
