@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"specvec/internal/config"
+	"specvec/internal/emu"
 	"specvec/internal/experiments"
 	"specvec/internal/pipeline"
+	"specvec/internal/trace"
 	"specvec/internal/workload"
 )
 
@@ -152,6 +154,77 @@ func BenchmarkRunnerSequential(b *testing.B) { runnerFanout(b, 1) }
 // BenchmarkRunnerParallel runs the identical fan-out on all cores; the
 // ratio to BenchmarkRunnerSequential is the worker-pool speedup.
 func BenchmarkRunnerParallel(b *testing.B) { runnerFanout(b, runtime.GOMAXPROCS(0)) }
+
+// sweepBench is the shared body of the trace-sharing benchmarks: one cold
+// Runner per iteration executing a 6-config × 12-benchmark sweep (the
+// Figure 11/12 shape), so SweepLiveStream vs SweepSharedTrace isolates
+// the record-once/replay-many layer.
+func sweepBench(b *testing.B, noShare bool) {
+	b.Helper()
+	var specs []experiments.RunSpec
+	for _, ports := range []int{1, 2} {
+		for _, mode := range []config.Mode{config.ModeNoIM, config.ModeIM, config.ModeV} {
+			cfg := config.MustNamed(4, ports, mode)
+			for _, name := range workload.Names() {
+				specs = append(specs, experiments.RunSpec{Cfg: cfg, Bench: name})
+			}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{
+			Scale: benchScale, Seed: 1, NoSharedTraces: noShare,
+		})
+		if _, err := r.RunAll(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+// BenchmarkSweepLiveStream is the pre-trace baseline: every simulation
+// re-builds its program and re-runs functional emulation.
+func BenchmarkSweepLiveStream(b *testing.B) { sweepBench(b, true) }
+
+// BenchmarkSweepSharedTrace records each benchmark once and replays it
+// for the other five configurations; the ratio to BenchmarkSweepLiveStream
+// is the sharing speedup and grows with configs-per-benchmark.
+func BenchmarkSweepSharedTrace(b *testing.B) { sweepBench(b, false) }
+
+// BenchmarkTraceReplay measures raw replay speed: the same simulation as
+// BenchmarkSimulatorThroughput, but fed from a recorded trace instead of
+// live functional emulation (no machine, no memory image, no
+// interpretation on the fetch path).
+func BenchmarkTraceReplay(b *testing.B) {
+	bench, _ := workload.Get("swim")
+	prog := bench.Build(200_000, 1)
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	mach, err := emu.New(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := trace.NewRecorder(mach, prog, pipeline.SourceWindow(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := rec.Finish(200_000 + trace.RecordSlack)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		sim, err := pipeline.NewFromSource(cfg, trace.NewReplayer(tr, pipeline.SourceWindow(cfg)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := sim.Run(200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed = st.Committed
+	}
+	b.ReportMetric(float64(committed)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // instructions per wall-clock second) on the V configuration.

@@ -7,6 +7,8 @@
 //	sdvsim -workload swim,applu,gcc -parallel 4   # fan out over workloads
 //	sdvsim -workload all -config 8w-1pV
 //	sdvsim -asm kernel.s -config 8w-2pIM
+//	sdvsim -workload swim -trace-record swim.sdvt # record the stream
+//	sdvsim -trace-replay swim.sdvt -config 8w-1pV # re-simulate from it
 //	sdvsim -workloads            # list available workloads
 //
 // Configuration names follow the paper: <width>w-<ports>p<mode> with mode
@@ -23,9 +25,12 @@ import (
 
 	"specvec/internal/asm"
 	"specvec/internal/config"
+	"specvec/internal/emu"
 	"specvec/internal/experiments"
 	"specvec/internal/isa"
 	"specvec/internal/pipeline"
+	"specvec/internal/stats"
+	"specvec/internal/trace"
 	"specvec/internal/workload"
 )
 
@@ -41,6 +46,8 @@ func main() {
 		listWLs  = flag.Bool("workloads", false, "list workloads and exit")
 		listCfgs = flag.Bool("configs", false, "list configurations and exit")
 		hotStats = flag.Bool("hotstats", false, "print hot-path pool/journal counters after a single run")
+		trcOut   = flag.String("trace-record", "", "record the dynamic instruction stream of a single run to this file")
+		trcIn    = flag.String("trace-replay", "", "simulate from a recorded trace file instead of a workload")
 	)
 	flag.Parse()
 
@@ -66,6 +73,16 @@ func main() {
 		fatal(err)
 	}
 
+	if *trcIn != "" {
+		if *wl != "" || *asmFile != "" || *trcOut != "" {
+			fatal(fmt.Errorf("-trace-replay runs from the trace alone; drop -workload/-asm/-trace-record"))
+		}
+		if err := replayRun(cfg, *trcIn, *max, *hotStats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var prog *isa.Program
 	switch {
 	case *asmFile != "":
@@ -83,6 +100,9 @@ func main() {
 			fatal(err)
 		}
 		if len(names) > 1 {
+			if *trcOut != "" {
+				fatal(fmt.Errorf("-trace-record records a single run; got %d workloads", len(names)))
+			}
 			// The experiments Runner caps every run at -scale; -max only
 			// applies to single runs.
 			maxSet := false
@@ -104,16 +124,90 @@ func main() {
 		fatal(fmt.Errorf("need -workload or -asm (see -workloads)"))
 	}
 
-	sim, err := pipeline.New(cfg, prog)
-	if err != nil {
-		fatal(err)
+	var rec *trace.Recorder
+	var sim *pipeline.Simulator
+	if *trcOut != "" {
+		mach, err := emu.New(prog)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err = trace.NewRecorder(mach, prog, pipeline.SourceWindow(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		sim, err = pipeline.NewFromSource(cfg, rec)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sim, err = pipeline.New(cfg, prog)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	st, err := sim.Run(*max)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("program %s on %s\n\n%s", prog.Name, cfg.Name, st.String())
-	if *hotStats {
+	printRun(prog.Name, cfg.Name, st, sim, *hotStats)
+	if rec != nil {
+		if err := writeTrace(rec, *trcOut, *max); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace completes a recording and writes it out. The trace is
+// extended past the commit limit by more than any configuration's
+// in-flight capacity, so a replay under a wider processor observes
+// exactly the records a live run would have.
+func writeTrace(rec *trace.Recorder, path string, maxInsts uint64) error {
+	tr, err := rec.Finish(int(maxInsts) + trace.RecordSlack)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return err
+	}
+	state := "halted"
+	if tr.Truncated() {
+		state = fmt.Sprintf("truncated (replayable up to -max %d)", maxInsts)
+	}
+	// The announcement goes to stderr so a recording run's stdout stays
+	// byte-identical to the live and replayed runs (CI diffs them).
+	fmt.Fprintf(os.Stderr, "recorded %d instructions (%d distinct operand tuples, %s) to %s\n",
+		tr.Len(), tr.TupleCount(), state, path)
+	return nil
+}
+
+// replayRun simulates from a recorded trace: no workload, no functional
+// emulation, no memory image.
+func replayRun(cfg config.Config, path string, maxInsts uint64, hotStats bool) error {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if tr.Truncated() && tr.Len() < int(maxInsts)+pipeline.SourceWindow(cfg) {
+		fmt.Fprintf(os.Stderr, "sdvsim: warning: truncated trace (%d records) may starve -max %d; rerun the recording with a higher -max\n",
+			tr.Len(), maxInsts)
+	}
+	sim, err := pipeline.NewFromSource(cfg, trace.NewReplayer(tr, pipeline.SourceWindow(cfg)))
+	if err != nil {
+		return err
+	}
+	st, err := sim.Run(maxInsts)
+	if err != nil {
+		return err
+	}
+	printRun(tr.Name(), cfg.Name, st, sim, hotStats)
+	return nil
+}
+
+// printRun renders one run's statistics (identically for live, recorded
+// and replayed runs, so outputs can be diffed).
+func printRun(prog, cfg string, st *stats.Sim, sim *pipeline.Simulator, hotStats bool) {
+	fmt.Printf("program %s on %s\n\n%s", prog, cfg, st.String())
+	if hotStats {
 		h := sim.HotStats()
 		fmt.Printf("\nhot path (steady state allocates nothing: news flat, recycles grow)\n")
 		fmt.Printf("uop pool             %d heap / %d recycled\n", h.UopNews, h.UopRecycles)

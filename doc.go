@@ -14,6 +14,7 @@
 //	internal/branch      gshare predictor, BTB, return stack
 //	internal/core        the paper's contribution: TL, VRMT, vector registers
 //	internal/pipeline    cycle-level OoO model with the SDV extension
+//	internal/trace       record-once/replay-many dynamic instruction traces
 //	internal/workload    12 synthetic Spec95-like benchmarks
 //	internal/experiments figures/tables of §4 and the headline numbers
 //	internal/profile     hot-path counters (pool recycling, allocations)
@@ -22,6 +23,7 @@
 //	cmd/sdvsim           run one workload on one configuration
 //	cmd/sdvexp           regenerate any figure or table
 //	cmd/sdvasm           assemble/disassemble/execute assembly programs
+//	cmd/sdvtrace         inspect recorded trace files
 //
 // ARCHITECTURE.md walks the pipeline stage by stage, documents the SDV
 // structures against the sections of the paper that define them, and maps

@@ -291,33 +291,33 @@ func (rf *RegFile) SetElemFree(id int, epoch uint64, elem int) {
 	rf.regs[id].Elems[elem].F = true
 }
 
-// freeable implements §3.3's two release conditions.
+// freeable implements §3.3's two release conditions, fused into one pass:
+// both require every element Ready, condition 1 additionally that every
+// element is dead (F), condition 2 that the register's MRBB is no longer
+// the global one and no element has a validation in flight or committed
+// data still live (V without F).
 func (r *VReg) freeable(gmrbb uint64) bool {
 	if r.pins > 0 {
 		return false
 	}
-	cond1 := true
-	for _, e := range r.Elems {
-		if !e.Ready() || !e.F {
-			cond1 = false
-			break
-		}
-	}
-	if cond1 {
-		return true
-	}
-	if r.MRBB == gmrbb {
-		return false
-	}
-	for _, e := range r.Elems {
-		if !e.Ready() || e.U {
+	allDead := true
+	stale := r.MRBB != gmrbb
+	for i := range r.Elems {
+		e := &r.Elems[i]
+		if !e.Computed && !e.Skipped { // R flag
 			return false
 		}
-		if e.V && !e.F {
-			return false
+		if !e.F {
+			allDead = false
+			if e.V {
+				stale = false
+			}
+		}
+		if e.U {
+			stale = false
 		}
 	}
-	return true
+	return allDead || stale
 }
 
 // Sweep releases every register satisfying a free condition and folds its

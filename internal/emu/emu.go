@@ -257,6 +257,29 @@ func (m *Machine) Step() DynInst {
 	return d
 }
 
+// SuccessorPC returns the PC following one dynamic execution of in at pc,
+// given the instruction's first source value and (for conditional
+// branches) its outcome — the same rules Step applies: a halt re-executes
+// in place, direct jumps use the immediate, register-indirect jumps use
+// rs1+imm, taken branches use the immediate, and everything else (unknown
+// opcodes included) falls through. It exists so that recorded traces
+// (internal/trace) can re-derive NextPC instead of storing it; Step and
+// this function are kept in lockstep by TestSuccessorPCMatchesStep.
+func SuccessorPC(in isa.Inst, pc, s1 uint64, taken bool) uint64 {
+	switch in.Op {
+	case isa.OpHalt:
+		return pc
+	case isa.OpJ, isa.OpJal:
+		return uint64(in.Imm)
+	case isa.OpJr:
+		return s1 + uint64(in.Imm)
+	}
+	if taken && in.IsBranch() {
+		return uint64(in.Imm)
+	}
+	return pc + 1
+}
+
 // Run executes until halt or until limit instructions have run. It returns
 // the number executed and ErrLimit if the budget was exhausted first.
 func (m *Machine) Run(limit uint64) (uint64, error) {

@@ -1,0 +1,64 @@
+package emu
+
+import (
+	"testing"
+
+	"specvec/internal/isa"
+)
+
+// TestSuccessorPCMatchesStep pins SuccessorPC to Step for every opcode,
+// both branch outcomes, register-indirect jumps and running off the end
+// of the text — recorded traces re-derive NextPC with SuccessorPC, so
+// the two must never drift.
+func TestSuccessorPCMatchesStep(t *testing.T) {
+	for op := 0; op < isa.NumOps; op++ {
+		// Two variants per opcode flip the branch outcome: with r1=1,
+		// r2=1 equal-style branches take and less-than-style don't; with
+		// r1=0, r2=1 it is the reverse. Non-branches ignore the values.
+		for variant, vals := range [][2]uint64{{1, 1}, {0, 1}} {
+			in := isa.Inst{
+				Op:  isa.Op(op),
+				Rd:  isa.IntReg(3),
+				Rs1: isa.IntReg(1),
+				Rs2: isa.IntReg(2),
+				Imm: 1, // a valid control target in a 2-instruction program
+			}
+			prog := &isa.Program{
+				Name:  "successor",
+				Insts: []isa.Inst{in, {Op: isa.OpHalt}},
+			}
+			m, err := New(prog)
+			if err != nil {
+				t.Fatalf("op %v: %v", in.Op, err)
+			}
+			m.SetReg(isa.IntReg(1), vals[0])
+			m.SetReg(isa.IntReg(2), vals[1])
+			d := m.Step()
+			if got := SuccessorPC(d.Inst, d.PC, d.Src1Val, d.Taken); got != d.NextPC {
+				t.Errorf("op %v variant %d: SuccessorPC = %d, Step.NextPC = %d",
+					in.Op, variant, got, d.NextPC)
+			}
+		}
+	}
+
+	// Register-indirect jump to an arbitrary (off-text) target, and the
+	// off-the-end halt the machine synthesizes there.
+	prog := &isa.Program{Name: "jr", Insts: []isa.Inst{
+		{Op: isa.OpLi, Rd: isa.IntReg(1), Imm: 100},
+		{Op: isa.OpJr, Rs1: isa.IntReg(1), Imm: 7},
+	}}
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d := m.Step()
+		if got := SuccessorPC(d.Inst, d.PC, d.Src1Val, d.Taken); got != d.NextPC {
+			t.Errorf("jr step %d (%v at pc %d): SuccessorPC = %d, Step.NextPC = %d",
+				i, d.Inst.Op, d.PC, got, d.NextPC)
+		}
+	}
+	if !m.Halted() {
+		t.Error("off-text execution did not halt")
+	}
+}

@@ -7,7 +7,12 @@
 // The Runner executes (configuration, benchmark) pairs on a worker pool
 // with single-flight memoisation: figures that share simulations (e.g. the
 // Figure 11/12 sweep) run each one once, and -parallel N fans independent
-// runs across cores with output identical to a sequential run. See
-// EXPERIMENTS.md for paper-vs-measured results and the performance
-// methodology, and ARCHITECTURE.md for the figure → code map.
+// runs across cores with output identical to a sequential run. A second
+// memo layer shares work across the configurations of a sweep: the first
+// simulation of a benchmark builds the program and records its dynamic
+// instruction stream (internal/trace) while running, and every other
+// configuration replays the recording instead of re-running functional
+// emulation. See EXPERIMENTS.md for paper-vs-measured results and the
+// performance methodology, and ARCHITECTURE.md for the figure → code map
+// and the trace subsystem.
 package experiments

@@ -7,8 +7,11 @@ import (
 	"sync/atomic"
 
 	"specvec/internal/config"
+	"specvec/internal/emu"
+	"specvec/internal/isa"
 	"specvec/internal/pipeline"
 	"specvec/internal/stats"
+	"specvec/internal/trace"
 	"specvec/internal/workload"
 )
 
@@ -26,6 +29,11 @@ type Options struct {
 	// independent deterministic run and tables are assembled in a fixed
 	// order.
 	Workers int
+	// NoSharedTraces disables the per-benchmark trace/program memo: every
+	// run builds its own program and emulates functionally, as if it were
+	// the only one. Results are byte-identical either way; the flag exists
+	// for benchmarking the sharing itself and as an escape hatch.
+	NoSharedTraces bool
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -52,6 +60,36 @@ type RunSpec struct {
 	Bench string
 }
 
+// runKey is the comparable memo key of one simulation: the configuration
+// fields that influence results plus the benchmark name. Scale and seed
+// are fixed per Runner and need no representation. A struct key keeps
+// string formatting out of the memo hot path.
+type runKey struct {
+	name               string
+	unbounded          bool
+	blockScalarOperand bool
+	churnDamper        bool
+	rangeOnlyConflicts bool
+	vectorLen          int
+	vectorRegs         int
+	confThreshold      int
+	bench              string
+}
+
+func (r *Runner) key(cfg config.Config, bench string) runKey {
+	return runKey{
+		name:               cfg.Name,
+		unbounded:          cfg.Unbounded,
+		blockScalarOperand: cfg.BlockScalarOperand,
+		churnDamper:        cfg.ChurnDamper,
+		rangeOnlyConflicts: cfg.RangeOnlyConflicts,
+		vectorLen:          cfg.VectorLen,
+		vectorRegs:         cfg.VectorRegs,
+		confThreshold:      cfg.ConfThreshold,
+		bench:              bench,
+	}
+}
+
 // call is one memoised simulation. The first requester of a key becomes
 // the leader and computes; every later requester blocks on done and
 // shares the leader's result (singleflight), so experiments that overlap
@@ -63,26 +101,45 @@ type call struct {
 	err  error
 }
 
+// traceCall is one memoised (benchmark, scale, seed) recording: the built
+// program and the recorded dynamic instruction stream, shared by every
+// configuration that simulates the benchmark. The first requester records
+// (while its own timing simulation runs); every later requester replays.
+// tr is nil when the recording was unusable (the program did not halt
+// within the record cap); followers then fall back to live emulation of
+// the shared program.
+type traceCall struct {
+	done chan struct{}
+	prog *isa.Program
+	tr   *trace.Trace
+	err  error // program construction failure: every run of the bench fails
+}
+
 // Runner executes (configuration, benchmark) pairs on a bounded worker
-// pool with memoisation. It is safe for concurrent use by multiple
-// goroutines.
+// pool with two memo layers: per-(config, benchmark) statistics, and
+// per-benchmark recorded traces shared across every configuration of a
+// sweep. It is safe for concurrent use by multiple goroutines.
 type Runner struct {
 	opts Options
 	sem  chan struct{} // bounds concurrently executing simulations
 
-	mu    sync.Mutex
-	cache map[string]*call
+	mu     sync.Mutex
+	cache  map[runKey]*call
+	traces map[string]*traceCall
 
-	sims atomic.Int64 // simulations actually executed (cache misses)
+	sims     atomic.Int64 // simulations actually executed (cache misses)
+	recorded atomic.Int64 // benchmark traces recorded (trace-cache misses)
+	replayed atomic.Int64 // simulations served from a recorded trace
 }
 
 // NewRunner returns a Runner with the given options.
 func NewRunner(opts Options) *Runner {
 	opts = opts.withDefaults()
 	return &Runner{
-		opts:  opts,
-		sem:   make(chan struct{}, opts.Workers),
-		cache: map[string]*call{},
+		opts:   opts,
+		sem:    make(chan struct{}, opts.Workers),
+		cache:  map[runKey]*call{},
+		traces: map[string]*traceCall{},
 	}
 }
 
@@ -94,12 +151,13 @@ func (r *Runner) Opts() Options { return r.opts }
 // do not count.
 func (r *Runner) Simulations() int64 { return r.sims.Load() }
 
-func (r *Runner) key(cfg config.Config, bench string) string {
-	return fmt.Sprintf("%s|u=%v|b=%v|cd=%v|ro=%v|vl=%d|vr=%d|ct=%d|%s|%d|%d",
-		cfg.Name, cfg.Unbounded, cfg.BlockScalarOperand, cfg.ChurnDamper,
-		cfg.RangeOnlyConflicts, cfg.VectorLen, cfg.VectorRegs, cfg.ConfThreshold,
-		bench, r.opts.Scale, r.opts.Seed)
-}
+// TraceRecordings returns how many benchmark traces have been recorded
+// (at most one per benchmark).
+func (r *Runner) TraceRecordings() int64 { return r.recorded.Load() }
+
+// TraceReplays returns how many simulations ran from a recorded trace
+// instead of live functional emulation.
+func (r *Runner) TraceReplays() int64 { return r.replayed.Load() }
 
 // Run simulates benchmark bench under cfg and returns its statistics.
 // Results are memoised on (config name, variant flags, benchmark); an
@@ -123,16 +181,132 @@ func (r *Runner) Run(cfg config.Config, bench string) (*stats.Sim, error) {
 	return c.st, c.err
 }
 
-// simulate is one uncached simulation. Each run builds its own program
-// and pipeline; nothing is shared between concurrent simulations.
-func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
-	r.sims.Add(1)
+// recordTarget is the length a recording is extended to when the program
+// has not halted by then: the commit limit (Scale) plus more than the
+// in-flight capacity of the widest configuration. No replay can observe
+// records past that point, so longer-running programs need not be
+// emulated to their halt.
+func (r *Runner) recordTarget() int { return r.opts.Scale + trace.RecordSlack }
+
+// usable reports whether the recorded trace can feed a simulation under
+// cfg: it either ends in a halt or extends past the commit limit by at
+// least cfg's in-flight capacity.
+func (r *Runner) usable(tr *trace.Trace, cfg config.Config) bool {
+	return tr != nil && (tr.Halted() || tr.Len() >= r.opts.Scale+pipeline.SourceWindow(cfg))
+}
+
+// sharedTrace returns the bench's trace entry, electing the caller's
+// goroutine as recorder if none exists yet. The second return is true for
+// the leader, which receives an unresolved entry (prog/tr unset) and MUST
+// resolve it via publishTrace. Followers block until the entry resolves.
+func (r *Runner) sharedTrace(bench string) (*traceCall, bool) {
+	r.mu.Lock()
+	tc, ok := r.traces[bench]
+	if !ok {
+		tc = &traceCall{done: make(chan struct{})}
+		r.traces[bench] = tc
+		r.mu.Unlock()
+		return tc, true
+	}
+	r.mu.Unlock()
+	<-tc.done
+	return tc, false
+}
+
+// publishTrace resolves a leader's trace entry and wakes the followers.
+func (r *Runner) publishTrace(tc *traceCall, prog *isa.Program, tr *trace.Trace, err error) {
+	tc.prog, tc.tr, tc.err = prog, tr, err
+	if tr != nil {
+		r.recorded.Add(1)
+	}
+	close(tc.done)
+}
+
+// buildProgram constructs the benchmark program at the runner's scale and
+// seed.
+func (r *Runner) buildProgram(bench string) (*isa.Program, error) {
 	b, err := workload.Get(bench)
 	if err != nil {
 		return nil, err
 	}
-	prog := b.Build(r.opts.Scale, r.opts.Seed)
-	sim, err := pipeline.New(cfg, prog)
+	return b.Build(r.opts.Scale, r.opts.Seed), nil
+}
+
+// simulate is one uncached simulation. The first simulation of a
+// benchmark builds the program and records the dynamic instruction stream
+// while its own timing run executes; every other configuration of the
+// same benchmark replays the recording instead of re-running functional
+// emulation.
+func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
+	r.sims.Add(1)
+	if r.opts.NoSharedTraces {
+		prog, err := r.buildProgram(bench)
+		if err != nil {
+			return nil, err
+		}
+		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+			return pipeline.New(cfg, prog)
+		})
+	}
+
+	tc, leader := r.sharedTrace(bench)
+	if leader {
+		return r.recordRun(cfg, bench, tc)
+	}
+	if tc.err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, tc.err)
+	}
+	if !r.usable(tc.tr, cfg) {
+		// Unusable recording (or one too short for this configuration's
+		// in-flight capacity): emulate live on the shared program.
+		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+			return pipeline.New(cfg, tc.prog)
+		})
+	}
+	r.replayed.Add(1)
+	return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+		return pipeline.NewFromSource(cfg, trace.NewReplayer(tc.tr, pipeline.SourceWindow(cfg)))
+	})
+}
+
+// recordRun is the leader's simulation: it records the dynamic stream
+// while the timing run executes, completes the trace afterwards and
+// publishes it for the followers. The trace entry is always resolved,
+// even when program construction or the simulation itself fails.
+func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*stats.Sim, error) {
+	prog, err := r.buildProgram(bench)
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return nil, err
+	}
+	mach, err := emu.New(prog)
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return nil, err
+	}
+	rec, err := trace.NewRecorder(mach, prog, pipeline.SourceWindow(cfg))
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return nil, err
+	}
+	rec.Reserve(r.recordTarget())
+	st, simErr := r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+		return pipeline.NewFromSource(cfg, rec)
+	})
+	// Finish extends the recording to its target length even when the
+	// timing run stopped early (commit limit) or failed (an invalid
+	// configuration must not poison the benchmark for other configs).
+	tr, recErr := rec.Finish(r.recordTarget())
+	if recErr != nil {
+		tr = nil
+	}
+	r.publishTrace(tc, prog, tr, nil)
+	return st, simErr
+}
+
+// timedRun executes one timing simulation built by mk.
+func (r *Runner) timedRun(cfg config.Config, bench string, mk func() (*pipeline.Simulator, error)) (*stats.Sim, error) {
+	sim, err := mk()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
 	}
@@ -168,13 +342,29 @@ func (r *Runner) RunAll(specs []RunSpec) ([]*stats.Sim, error) {
 }
 
 // Prefetch begins computing the given runs in the background without
-// waiting for them. Errors are not reported here; they resurface from the
-// memo when Run or RunAll later requests the same key. There is no
-// cancellation: if the consumer aborts early, already-submitted runs
-// finish in the background (and stay memoised for the next request).
+// waiting for them. Submission fans out over at most Workers feeder
+// goroutines that pull specs from a shared cursor, so a large sweep does
+// not spawn one goroutine per spec ahead of the semaphore. Errors are not
+// reported here; they resurface from the memo when Run or RunAll later
+// requests the same key. There is no cancellation: if the consumer aborts
+// early, already-submitted runs finish in the background (and stay
+// memoised for the next request).
 func (r *Runner) Prefetch(specs []RunSpec) {
-	for _, s := range specs {
-		go func(s RunSpec) { _, _ = r.Run(s.Cfg, s.Bench) }(s)
+	if len(specs) == 0 {
+		return
+	}
+	specs = append([]RunSpec(nil), specs...)
+	next := new(atomic.Int64)
+	for n := min(len(specs), r.opts.Workers); n > 0; n-- {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				_, _ = r.Run(specs[i].Cfg, specs[i].Bench)
+			}
+		}()
 	}
 }
 

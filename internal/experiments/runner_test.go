@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -61,7 +62,7 @@ func TestRunnerConcurrentHammer(t *testing.T) {
 	benches := []string{"go", "compress", "swim", "applu"}
 
 	type res struct {
-		key string
+		key runKey
 		st  *stats.Sim
 	}
 	const goroutines = 32
@@ -88,11 +89,11 @@ func TestRunnerConcurrentHammer(t *testing.T) {
 	}
 	wg.Wait()
 
-	byKey := map[string]*stats.Sim{}
+	byKey := map[runKey]*stats.Sim{}
 	for _, rs := range results {
 		for _, x := range rs {
 			if prev, ok := byKey[x.key]; ok && prev != x.st {
-				t.Errorf("key %s returned two distinct results", x.key)
+				t.Errorf("key %+v returned two distinct results", x.key)
 			}
 			byKey[x.key] = x.st
 		}
@@ -172,6 +173,80 @@ func TestAppendAggregatesSkipsEmpty(t *testing.T) {
 	out := tab.Render()
 	if strings.Contains(out, "INT") {
 		t.Errorf("render contains aggregate for empty class:\n%s", out)
+	}
+}
+
+// TestSharedTraceIdentical runs the same multi-config sweep with trace
+// sharing on and off and requires identical rendered statistics — the
+// record-once/replay-many layer must be invisible in the results — while
+// the counters prove it actually recorded once per benchmark and
+// replayed everything else.
+func TestSharedTraceIdentical(t *testing.T) {
+	cfgs := []config.Config{
+		config.MustNamed(4, 1, config.ModeNoIM),
+		config.MustNamed(4, 1, config.ModeIM),
+		config.MustNamed(4, 1, config.ModeV),
+	}
+	render := func(opts Options) (string, *Runner) {
+		r := NewRunner(opts)
+		var sb strings.Builder
+		for _, cfg := range cfgs {
+			sims, err := r.RunAll(suiteSpecs(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range sims {
+				sb.WriteString(st.String())
+			}
+		}
+		return sb.String(), r
+	}
+
+	shared, rs := render(Options{Scale: 15_000, Seed: 1, Workers: 4})
+	unshared, ru := render(Options{Scale: 15_000, Seed: 1, Workers: 4, NoSharedTraces: true})
+	if shared != unshared {
+		t.Error("trace sharing changed simulation statistics")
+	}
+
+	nbench := int64(len(workload.Names()))
+	if got := rs.TraceRecordings(); got != nbench {
+		t.Errorf("shared runner recorded %d traces, want %d", got, nbench)
+	}
+	// 3 configs per benchmark: the first records, the other two replay.
+	if got, want := rs.TraceReplays(), 2*nbench; got != want {
+		t.Errorf("shared runner replayed %d runs, want %d", got, want)
+	}
+	if got := ru.TraceRecordings(); got != 0 {
+		t.Errorf("unshared runner recorded %d traces, want 0", got)
+	}
+}
+
+// TestPrefetchBounded submits a sweep far larger than the worker pool and
+// checks submission itself stays bounded: Prefetch must not spawn one
+// goroutine per spec ahead of the semaphore.
+func TestPrefetchBounded(t *testing.T) {
+	r := NewRunner(Options{Scale: 8_000, Seed: 1, Workers: 2})
+	var cfgs []config.Config
+	for _, ports := range []int{1, 2, 4} {
+		for _, mode := range []config.Mode{config.ModeNoIM, config.ModeIM, config.ModeV} {
+			cfgs = append(cfgs, config.MustNamed(4, ports, mode))
+		}
+	}
+	specs := suiteSpecs(cfgs...) // 9 × 12 = 108 specs
+	before := runtime.NumGoroutine()
+	r.Prefetch(specs)
+	after := runtime.NumGoroutine()
+	// 2 feeders plus whatever simulations already started; anything near
+	// len(specs) means the fan-out is unbounded again.
+	if delta := after - before; delta > len(specs)/4 {
+		t.Errorf("Prefetch spawned ~%d goroutines for %d specs with 2 workers", delta, len(specs))
+	}
+	// Drain so the feeders finish before the test ends.
+	if _, err := r.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Simulations(), int64(len(specs)); got != want {
+		t.Errorf("executed %d simulations, want %d", got, want)
 	}
 }
 

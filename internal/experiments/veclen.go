@@ -2,22 +2,49 @@ package experiments
 
 import (
 	"specvec/internal/emu"
+	"specvec/internal/trace"
 	"specvec/internal/workload"
 )
 
-// meanRunLength functionally executes a workload and measures, per static
-// load, the lengths of maximal constant-stride runs, returning their mean
-// (runs of length >= 2 only: a "run" of one repeat is not a pattern).
-func meanRunLength(r *Runner, bench string) (float64, error) {
-	b, err := workload.Get(bench)
-	if err != nil {
-		return 0, err
+// functionalTrace returns the bench's shared trace entry, recording it
+// with a pure functional pass (no timing simulation) when no entry exists
+// yet. Experiments that only need the dynamic stream (VecLen) share the
+// same recording that timing sweeps replay.
+func (r *Runner) functionalTrace(bench string) (*traceCall, error) {
+	tc, leader := r.sharedTrace(bench)
+	if !leader {
+		return tc, tc.err
 	}
-	m, err := emu.New(b.Build(r.opts.Scale, r.opts.Seed))
+	prog, err := r.buildProgram(bench)
 	if err != nil {
-		return 0, err
+		r.publishTrace(tc, nil, nil, err)
+		return tc, err
 	}
+	mach, err := emu.New(prog)
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return tc, err
+	}
+	rec, err := trace.NewRecorder(mach, prog, 0)
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return tc, err
+	}
+	rec.Reserve(r.recordTarget())
+	tr, recErr := rec.Finish(r.recordTarget())
+	if recErr != nil {
+		tr = nil
+	}
+	r.publishTrace(tc, prog, tr, nil)
+	return tc, nil
+}
 
+// meanRunLength measures, per static load, the lengths of maximal
+// constant-stride runs over the benchmark's dynamic stream, returning
+// their mean (runs of length >= 2 only: a "run" of one repeat is not a
+// pattern). The stream comes from the runner's shared trace when
+// available; otherwise the benchmark is emulated functionally.
+func meanRunLength(r *Runner, bench string) (float64, error) {
 	type state struct {
 		lastAddr uint64
 		stride   int64
@@ -35,13 +62,9 @@ func meanRunLength(r *Runner, bench string) (float64, error) {
 		}
 		st.runLen = 0
 	}
-
-	budget := uint64(r.opts.Scale)
-	for !m.Halted() && budget > 0 {
-		d := m.Step()
-		budget--
+	observe := func(d *emu.DynInst) {
 		if !d.Inst.IsLoad() {
-			continue
+			return
 		}
 		st := loads[d.PC]
 		if st == nil {
@@ -66,6 +89,11 @@ func meanRunLength(r *Runner, bench string) (float64, error) {
 		}
 		st.lastAddr = d.EffAddr
 	}
+
+	budget := r.opts.Scale
+	if err := r.eachRecord(bench, budget, observe); err != nil {
+		return 0, err
+	}
 	for _, st := range loads {
 		closeRun(st)
 	}
@@ -73,4 +101,50 @@ func meanRunLength(r *Runner, bench string) (float64, error) {
 		return 0, nil
 	}
 	return float64(totalLen) / float64(runs), nil
+}
+
+// eachRecord yields the first budget records of the benchmark's dynamic
+// stream, from the shared trace when sharing is enabled and the recording
+// usable, from live functional emulation otherwise. Both paths produce
+// the identical sequence: emulation stops at halt or budget, and a trace
+// ends with its halt record.
+func (r *Runner) eachRecord(bench string, budget int, yield func(*emu.DynInst)) error {
+	if !r.opts.NoSharedTraces {
+		tc, err := r.functionalTrace(bench)
+		if err != nil {
+			return err
+		}
+		if tc.tr != nil && (tc.tr.Halted() || tc.tr.Len() >= budget) {
+			var d emu.DynInst
+			for i, n := 0, min(tc.tr.Len(), budget); i < n; i++ {
+				tc.tr.Record(i, &d)
+				yield(&d)
+			}
+			return nil
+		}
+		// Unusable recording: emulate the shared program live.
+		m, err := emu.New(tc.prog)
+		if err != nil {
+			return err
+		}
+		return emulateRecords(m, budget, yield)
+	}
+	b, err := workload.Get(bench)
+	if err != nil {
+		return err
+	}
+	m, err := emu.New(b.Build(r.opts.Scale, r.opts.Seed))
+	if err != nil {
+		return err
+	}
+	return emulateRecords(m, budget, yield)
+}
+
+func emulateRecords(m *emu.Machine, budget int, yield func(*emu.DynInst)) error {
+	for !m.Halted() && budget > 0 {
+		d := m.Step()
+		budget--
+		yield(&d)
+	}
+	return nil
 }

@@ -44,6 +44,9 @@ func (s *Simulator) decode() {
 		if u.d.Inst.IsMem() {
 			u.lsqPos = s.lsq.push(u)
 			u.inLSQ = true
+			if u.d.Inst.IsStore() {
+				s.storePos = append(s.storePos, u.lsqPos)
+			}
 		}
 
 		if u.d.Inst.WritesReg() {

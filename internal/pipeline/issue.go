@@ -226,14 +226,14 @@ func (s *Simulator) issueLoad(u *uop) bool {
 	if !u.addrReady(s.cycle) {
 		return false
 	}
-	// Walk older LSQ entries (the ring is program-ordered; u.lsqPos is its
-	// absolute position, so no scan is needed to find it).
-	for p := u.lsqPos; p > s.lsq.head; {
-		p--
-		st := s.lsq.at(p)
-		if !st.d.Inst.IsStore() {
-			continue
+	// Walk older in-flight stores, youngest first (storePos mirrors the
+	// program-ordered LSQ ring, so loads skip straight over other loads).
+	for i := len(s.storePos) - 1; i >= 0; i-- {
+		p := s.storePos[i]
+		if p >= u.lsqPos {
+			continue // younger than the load
 		}
+		st := s.lsq.at(p)
 		if !st.addrReady(s.cycle) {
 			return false // unknown address: conservative wait
 		}

@@ -21,6 +21,31 @@ type vref struct {
 	elem   int
 }
 
+// Source feeds fetch with the dynamic instruction stream. It is satisfied
+// by emu.Stream (live functional emulation) and trace.Replayer (a recorded
+// stream), keeping fetch agnostic to where records come from. NextRef
+// returns the record at the current position by pointer (valid until the
+// source's replay window wraps past its sequence number); Rewind
+// repositions the stream after a squash, with at least the in-flight
+// capacity of the pipeline addressable backwards (see SourceWindow).
+type Source interface {
+	NextRef() (*emu.DynInst, bool)
+	Rewind(seq uint64)
+}
+
+// SourceWindow returns the replay-window size (in records) a Source must
+// retain to serve the pipeline under cfg: every in-flight instruction
+// (ROB + fetch buffer + the record held across an I-cache miss) may be
+// rewound to, doubled for slack and rounded to a power of two.
+func SourceWindow(cfg config.Config) int {
+	inFlight := cfg.ROBSize + 3*cfg.FetchWidth + 1
+	n := 64
+	for n < 2*inFlight {
+		n <<= 1
+	}
+	return n
+}
+
 // Simulator is one configured processor running one program.
 //
 // The per-cycle loop is allocation-free in steady state: uops and vector
@@ -31,8 +56,8 @@ type vref struct {
 type Simulator struct {
 	cfg  config.Config
 	sim  *stats.Sim
-	mach *emu.Machine
-	strm *emu.Stream
+	mach *emu.Machine // nil when running from an external Source
+	strm Source
 
 	hier  *mem.Hierarchy
 	ports *mem.Ports
@@ -59,6 +84,11 @@ type Simulator struct {
 	iq  []*uop
 	lsq *uopRing
 	viq []*vop
+
+	// storePos mirrors the LSQ: the absolute ring positions of in-flight
+	// stores, ascending. Loads checking the §3.6 ordering rules walk this
+	// list instead of scanning every older LSQ entry (issue.go).
+	storePos []uint64
 
 	// readyBits marks iq positions whose register sources all have known
 	// completion times (pendingDeps == 0); issue scans only these.
@@ -177,21 +207,36 @@ func (t *mergeTable) flush(cycle uint64, fn func(*mergeEntry)) {
 	t.entries = live
 }
 
-// New builds a simulator for prog under cfg.
+// New builds a simulator for prog under cfg, running live functional
+// emulation (the machine is exposed through Machine for architectural
+// comparison).
 func New(cfg config.Config, prog *isa.Program) (*Simulator, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	mach, err := emu.New(prog)
 	if err != nil {
+		return nil, err
+	}
+	s, err := NewFromSource(cfg, emu.NewStream(mach, SourceWindow(cfg)))
+	if err != nil {
+		return nil, err
+	}
+	s.mach = mach
+	return s, nil
+}
+
+// NewFromSource builds a simulator for cfg fed by an external dynamic
+// instruction source (e.g. a trace.Replayer, or a trace.Recorder wrapping
+// a live machine). The simulator has no machine of its own: Machine
+// returns nil, and the source must serve a stream recorded from — or
+// equivalent to — a valid program.
+func NewFromSource(cfg config.Config, src Source) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	sim := stats.New()
 	s := &Simulator{
 		cfg:      cfg,
 		sim:      sim,
-		mach:     mach,
-		strm:     emu.NewStream(mach, 0),
+		strm:     src,
 		hier:     mem.NewHierarchy(cfg.Mem, sim),
 		ports:    mem.NewPorts(cfg.MemPorts, cfg.WideBus, sim),
 		pred:     branch.New(cfg.Branch),
@@ -226,7 +271,8 @@ func New(cfg config.Config, prog *isa.Program) (*Simulator, error) {
 func (s *Simulator) Stats() *stats.Sim { return s.sim }
 
 // Machine exposes the architectural state (tests compare it against a
-// pure functional run).
+// pure functional run). It is nil for simulators built with
+// NewFromSource: a replayed trace carries no architectural state.
 func (s *Simulator) Machine() *emu.Machine { return s.mach }
 
 // Cycle returns the current cycle number.
@@ -308,6 +354,7 @@ func (s *Simulator) squash(fromSeq uint64) {
 	}
 	s.rob.clear()
 	s.lsq.clear()
+	s.storePos = s.storePos[:0]
 	s.fetchBuf.clear()
 	s.iq = s.iq[:0]
 	clear(s.readyBits)

@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"specvec/internal/isa"
+)
+
+// On-disk format (version 1), little-endian, streamed:
+//
+//	magic   [4]byte "SDVT"
+//	version uint16
+//	fflags  uint16            bit 0: truncated
+//	name    uvarint len + bytes
+//	counts  uvarint ×3        static instructions, records, tuples
+//	text    per instruction: op, rd, rs1, rs2 (bytes) + zigzag-varint imm
+//	pcs     zigzag-varint delta from the previous record's PC
+//	flags   one byte per record
+//	tupleIdx zigzag-varint delta from the previous record's index
+//	tuples  uvarint per value (tupleWords values per tuple)
+//	crc32   uint32 (IEEE) over every preceding byte, header included
+//
+// PCs and tuple indexes are delta-encoded because both are locally
+// repetitive (loops revisit nearby PCs and recent operand tuples), which
+// keeps most deltas in one or two varint bytes.
+
+var magic = [4]byte{'S', 'D', 'V', 'T'}
+
+// Version is the current on-disk format version.
+const Version = 1
+
+const (
+	fmtTruncated uint16 = 1 << 0
+
+	// maxCount bounds decoded element counts so a corrupt header cannot
+	// drive allocation before the checksum is verified.
+	maxCount = 1 << 31
+)
+
+// cwriter counts a CRC over everything written.
+type cwriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+}
+
+func (c *cwriter) Write(p []byte) (int, error) {
+	c.crc.Write(p)
+	return c.w.Write(p)
+}
+
+func (c *cwriter) byte(b byte) error {
+	c.crc.Write([]byte{b})
+	return c.w.WriteByte(b)
+}
+
+func (c *cwriter) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := c.Write(buf[:n])
+	return err
+}
+
+func (c *cwriter) varint(v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := c.Write(buf[:n])
+	return err
+}
+
+// Encode streams the trace to w in the versioned on-disk format.
+func (t *Trace) Encode(w io.Writer) error {
+	c := &cwriter{w: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	if _, err := c.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Version)
+	var ff uint16
+	if t.truncated {
+		ff |= fmtTruncated
+	}
+	binary.LittleEndian.PutUint16(hdr[2:], ff)
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := c.uvarint(uint64(len(t.name))); err != nil {
+		return err
+	}
+	if _, err := c.Write([]byte(t.name)); err != nil {
+		return err
+	}
+	for _, n := range []int{len(t.insts), len(t.pcs), t.TupleCount()} {
+		if err := c.uvarint(uint64(n)); err != nil {
+			return err
+		}
+	}
+	for _, in := range t.insts {
+		if _, err := c.Write([]byte{byte(in.Op), byte(in.Rd), byte(in.Rs1), byte(in.Rs2)}); err != nil {
+			return err
+		}
+		if err := c.varint(in.Imm); err != nil {
+			return err
+		}
+	}
+	prev := int64(0)
+	for _, pc := range t.pcs {
+		if err := c.varint(int64(pc) - prev); err != nil {
+			return err
+		}
+		prev = int64(pc)
+	}
+	if _, err := c.Write(t.flags); err != nil {
+		return err
+	}
+	prev = 0
+	for _, idx := range t.tupleIdx {
+		if err := c.varint(int64(idx) - prev); err != nil {
+			return err
+		}
+		prev = int64(idx)
+	}
+	for _, v := range t.tuples {
+		if err := c.uvarint(v); err != nil {
+			return err
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], c.crc.Sum32())
+	if _, err := c.w.Write(sum[:]); err != nil { // the checksum is not part of itself
+		return err
+	}
+	return c.w.Flush()
+}
+
+// creader counts a CRC over everything read.
+type creader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (c *creader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (c *creader) full(p []byte) error {
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		return err
+	}
+	c.crc.Write(p)
+	return nil
+}
+
+func (c *creader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(c)
+}
+
+func (c *creader) varint() (int64, error) {
+	return binary.ReadVarint(c)
+}
+
+// clampCap bounds an initial slice capacity; decode appends beyond it.
+func clampCap(n int) int { return min(n, 1<<20) }
+
+func (c *creader) count(what string) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxCount {
+		return 0, fmt.Errorf("trace: implausible %s count %d", what, v)
+	}
+	return int(v), nil
+}
+
+// Decode reads a trace in the on-disk format, verifying the version and
+// the trailing checksum and validating internal consistency.
+func Decode(r io.Reader) (*Trace, error) {
+	c := &creader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var hdr [8]byte
+	if err := c.full(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", v, Version)
+	}
+	ff := binary.LittleEndian.Uint16(hdr[6:])
+
+	nameLen, err := c.count("name")
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if err := c.full(name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	nInsts, err := c.count("instruction")
+	if err != nil {
+		return nil, err
+	}
+	nRecs, err := c.count("record")
+	if err != nil {
+		return nil, err
+	}
+	nTuples, err := c.count("tuple")
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial capacities are clamped so a corrupt count cannot drive a
+	// huge allocation before the data (and finally the checksum) is seen.
+	t := &Trace{
+		name:      string(name),
+		truncated: ff&fmtTruncated != 0,
+		insts:     make([]isa.Inst, 0, clampCap(nInsts)),
+		pcs:       make([]uint32, 0, clampCap(nRecs)),
+		flags:     make([]uint8, 0, clampCap(nRecs)),
+		tupleIdx:  make([]uint32, 0, clampCap(nRecs)),
+		tuples:    make([]uint64, 0, clampCap(nTuples*tupleWords)),
+	}
+	var quad [4]byte
+	for i := 0; i < nInsts; i++ {
+		if err := c.full(quad[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading text: %w", err)
+		}
+		imm, err := c.varint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading text: %w", err)
+		}
+		t.insts = append(t.insts, isa.Inst{
+			Op: isa.Op(quad[0]), Rd: isa.Reg(quad[1]), Rs1: isa.Reg(quad[2]), Rs2: isa.Reg(quad[3]),
+			Imm: imm,
+		})
+	}
+	prev := int64(0)
+	for i := 0; i < nRecs; i++ {
+		d, err := c.varint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading PCs: %w", err)
+		}
+		prev += d
+		if prev < 0 || prev > math.MaxUint32 {
+			return nil, fmt.Errorf("trace: record %d PC %d out of range", i, prev)
+		}
+		t.pcs = append(t.pcs, uint32(prev))
+	}
+	var chunk [4096]byte
+	for got := 0; got < nRecs; {
+		n := min(nRecs-got, len(chunk))
+		if err := c.full(chunk[:n]); err != nil {
+			return nil, fmt.Errorf("trace: reading flags: %w", err)
+		}
+		t.flags = append(t.flags, chunk[:n]...)
+		got += n
+	}
+	prev = 0
+	for i := 0; i < nRecs; i++ {
+		d, err := c.varint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading tuple indexes: %w", err)
+		}
+		prev += d
+		if prev < 0 || prev > math.MaxUint32 {
+			return nil, fmt.Errorf("trace: record %d tuple index %d out of range", i, prev)
+		}
+		t.tupleIdx = append(t.tupleIdx, uint32(prev))
+	}
+	for i := 0; i < nTuples*tupleWords; i++ {
+		v, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading tuples: %w", err)
+		}
+		t.tuples = append(t.tuples, v)
+	}
+
+	want := c.crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(c.r, sum[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("trace: checksum mismatch (file %#x, computed %#x)", got, want)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteFile encodes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

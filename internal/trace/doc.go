@@ -1,0 +1,34 @@
+// Package trace records and replays the dynamic instruction stream that
+// the timing pipeline consumes.
+//
+// The stream produced by functional emulation is config-independent: one
+// (benchmark, scale, seed) triple yields the same emu.DynInst sequence
+// under every processor configuration, because the workload program is
+// built from those knobs alone. A sweep that simulates the same benchmark
+// under many configurations therefore re-derives identical streams over
+// and over. This package removes that redundancy — the record-once /
+// replay-many leverage of offline dynamic analysis — and turns recorded
+// streams into a workload input of their own (sdvsim -trace-record /
+// -trace-replay, inspected with sdvtrace).
+//
+// Three faces:
+//
+//   - Recorder wraps a live emu.Machine and captures records while the
+//     first simulation runs. It serves the pipeline exactly like
+//     emu.Stream (bounded window, rewind on squash), so the recording run
+//     is byte-identical to an unrecorded one. Finish then runs the
+//     machine to halt so the trace covers the complete dynamic stream.
+//   - Replayer serves a recorded Trace with the same semantics, without a
+//     machine, a memory image, or per-instruction interpretation; its
+//     steady state allocates nothing.
+//   - Encode/Decode stream a Trace to and from a compact, versioned,
+//     checksummed file (format in codec.go).
+//
+// The in-memory form is structure-of-arrays: a PC column, a flag column
+// (branch outcome, halt) and an interned-tuple index per record, plus one
+// pool of distinct five-value operand tuples. Everything else in a
+// DynInst (Seq, the static instruction, NextPC) is re-derived on
+// materialization from the embedded program text, mirroring
+// emu.Machine.Step. On disk, PC and tuple-index columns are
+// zigzag-varint delta encoded (loops keep both locally repetitive).
+package trace

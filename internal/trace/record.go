@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"specvec/internal/emu"
+	"specvec/internal/isa"
+)
+
+// RecordSlack is how far past its commit limit a recording should extend
+// (the Finish target is maxInsts + RecordSlack): a replaying pipeline can
+// fetch at most its in-flight capacity — pipeline.SourceWindow(cfg) bounds
+// it — beyond the last committed instruction, so the slack must exceed
+// the source window of every configuration meant to replay the trace.
+// TestRecordSlackCoversMatrix pins that against the experiment sweep.
+const RecordSlack = 1 << 13
+
+// Recorder wraps a live emu.Machine: it serves the timing pipeline exactly
+// like emu.Stream (bounded replay window, rewind on squash) while
+// appending every newly produced record to a Trace. After the recording
+// simulation finishes, Finish runs the machine to completion so the trace
+// covers the full dynamic stream — a wider configuration replaying it
+// later may fetch further ahead of the commit limit than the recording
+// one did.
+type Recorder struct {
+	m      *emu.Machine
+	t      *Trace
+	intern map[[tupleWords]uint64]uint32
+
+	window []emu.DynInst // ring buffer indexed by Seq % len
+	pos    uint64        // next Seq to hand out
+	err    error         // first recording fault (PC overflow)
+}
+
+// NewRecorder wraps m, which must be freshly constructed (no instructions
+// executed), with a replay window of n records (emu.DefaultWindow if
+// n <= 0). prog must be the program loaded into m; its text is embedded in
+// the trace so replay needs no program object.
+func NewRecorder(m *emu.Machine, prog *isa.Program, n int) (*Recorder, error) {
+	if m.InstCount() != 0 {
+		return nil, fmt.Errorf("trace: recorder needs a fresh machine (%d instructions already executed)", m.InstCount())
+	}
+	if n <= 0 {
+		n = emu.DefaultWindow
+	}
+	return &Recorder{
+		m:      m,
+		t:      &Trace{name: prog.Name, insts: prog.Insts},
+		intern: make(map[[tupleWords]uint64]uint32),
+		window: make([]emu.DynInst, n),
+	}, nil
+}
+
+// produce steps the machine once, appending the record to the trace and
+// the replay window. It reports whether the machine produced a halt.
+func (r *Recorder) produce() bool {
+	d := r.m.Step()
+	if d.PC > math.MaxUint32 && r.err == nil {
+		// A register-indirect jump far outside the text cannot be encoded
+		// in the compact PC column; the recording run still proceeds (the
+		// window serves it), but the trace is unusable.
+		r.err = fmt.Errorf("trace: PC %#x exceeds the recordable range", d.PC)
+	}
+	r.t.append(&d, r.intern)
+	r.window[d.Seq%uint64(len(r.window))] = d
+	return d.Halt
+}
+
+// NextRef returns a pointer to the record at the current position,
+// producing it from the machine if it has not been generated yet. The
+// pointer stays valid until the window wraps past its sequence number. ok
+// is false once the stream is positioned past the halt record.
+func (r *Recorder) NextRef() (*emu.DynInst, bool) {
+	filled := uint64(r.t.Len())
+	if r.t.Halted() && r.pos >= filled {
+		return nil, false
+	}
+	for r.pos >= filled {
+		if r.produce() {
+			filled = uint64(r.t.Len())
+			break
+		}
+		filled = uint64(r.t.Len())
+	}
+	if r.pos >= filled { // halted before reaching pos
+		return nil, false
+	}
+	d := &r.window[r.pos%uint64(len(r.window))]
+	r.pos++
+	return d, true
+}
+
+// Next returns the current record by value.
+func (r *Recorder) Next() (emu.DynInst, bool) {
+	d, ok := r.NextRef()
+	if !ok {
+		return emu.DynInst{}, false
+	}
+	return *d, true
+}
+
+// Pos returns the sequence number of the next record NextRef will return.
+func (r *Recorder) Pos() uint64 { return r.pos }
+
+// Reserve pre-sizes the trace columns and the interning table for about n
+// records, sparing the recording hot path the incremental growth (the
+// caller usually knows the Finish target up front).
+func (r *Recorder) Reserve(n int) {
+	if n <= len(r.t.pcs) {
+		return
+	}
+	r.t.pcs = append(make([]uint32, 0, n), r.t.pcs...)
+	r.t.flags = append(make([]uint8, 0, n), r.t.flags...)
+	r.t.tupleIdx = append(make([]uint32, 0, n), r.t.tupleIdx...)
+	r.t.tuples = append(make([]uint64, 0, n*tupleWords/2), r.t.tuples...)
+	if len(r.intern) == 0 {
+		r.intern = make(map[[tupleWords]uint64]uint32, n/2)
+	}
+}
+
+// Rewind repositions the stream so that NextRef returns the record with
+// sequence number seq again, with the same window contract as
+// emu.Stream.Rewind.
+func (r *Recorder) Rewind(seq uint64) {
+	if seq > r.pos {
+		panic(fmt.Sprintf("trace: rewind forward from %d to %d", r.pos, seq))
+	}
+	filled := uint64(r.t.Len())
+	if filled > uint64(len(r.window)) && seq < filled-uint64(len(r.window)) {
+		panic(fmt.Sprintf("trace: rewind to %d outside window (oldest %d)",
+			seq, filled-uint64(len(r.window))))
+	}
+	r.pos = seq
+}
+
+// Finish completes the trace: the machine keeps running until it halts or
+// until target records exist (the recording simulation usually stops at a
+// commit limit short of either). A replaying pipeline never looks past
+// its commit limit plus its in-flight capacity, so a target of
+// maxInsts + SourceWindow(cfg) of the widest consuming configuration
+// makes the recording exactly as long as any replay can observe — there
+// is no need to emulate a long-running program to its halt. A trace that
+// stops before halt is marked truncated; Replayer documents how far such
+// a trace can feed a simulation. The error is non-nil only when the
+// recording is unusable outright (an unrecordable PC was produced).
+func (r *Recorder) Finish(target int) (*Trace, error) {
+	for !r.t.Halted() && r.t.Len() < target {
+		r.produce()
+	}
+	r.t.truncated = !r.t.Halted()
+	if r.err != nil {
+		return r.t, r.err
+	}
+	return r.t, nil
+}
