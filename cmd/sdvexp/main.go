@@ -27,6 +27,8 @@ func main() {
 		scale    = flag.Int("scale", 300_000, "approximate dynamic instructions per run")
 		seed     = flag.Int64("seed", 1, "workload data seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
+		shards   = flag.Int("shards", 1, "split each simulation into K checkpoint-fast-forwarded intervals (1 = exact single pass, byte-identical output; K > 1 trades warmup tolerance for intra-benchmark parallelism)")
+		ckptEvry = flag.Int("ckpt-every", 0, "checkpoint interval in instructions for recorded traces (0 = auto when -shards > 1)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -38,7 +40,10 @@ func main() {
 		return
 	}
 
-	runner := experiments.NewRunner(experiments.Options{Scale: *scale, Seed: *seed, Workers: *parallel})
+	runner := experiments.NewRunner(experiments.Options{
+		Scale: *scale, Seed: *seed, Workers: *parallel,
+		Shards: *shards, CheckpointEvery: *ckptEvry,
+	})
 	var toRun []experiments.Experiment
 	if *exp == "all" {
 		toRun = experiments.All()

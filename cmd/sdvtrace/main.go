@@ -6,6 +6,7 @@
 //	sdvtrace trace.sdvt              # header and summary statistics
 //	sdvtrace -dump 20 trace.sdvt     # additionally print the first 20 records
 //	sdvtrace -dump 20 -start 1000 trace.sdvt
+//	sdvtrace -ckpts trace.sdvt       # list the embedded checkpoints
 //	sdvtrace -verify trace.sdvt      # decode fully, checksum included; exit status only
 //
 // Multiple files may be given; each is reported in turn.
@@ -24,16 +25,17 @@ func main() {
 	var (
 		dump   = flag.Int("dump", 0, "print the first N records (after -start)")
 		start  = flag.Int("start", 0, "first record to dump")
+		ckpts  = flag.Bool("ckpts", false, "list the embedded checkpoints")
 		verify = flag.Bool("verify", false, "decode and checksum only; print nothing on success")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sdvtrace [-dump N] [-start S] [-verify] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: sdvtrace [-dump N] [-start S] [-ckpts] [-verify] FILE...")
 		os.Exit(2)
 	}
 	status := 0
 	for _, path := range flag.Args() {
-		if err := inspect(path, *dump, *start, *verify); err != nil {
+		if err := inspect(path, *dump, *start, *ckpts, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "sdvtrace:", err)
 			status = 1
 		}
@@ -41,7 +43,7 @@ func main() {
 	os.Exit(status)
 }
 
-func inspect(path string, dump, start int, verify bool) error {
+func inspect(path string, dump, start int, listCkpts, verify bool) error {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return err
@@ -58,7 +60,7 @@ func inspect(path string, dump, start int, verify bool) error {
 	if t.Truncated() {
 		state = "truncated"
 	}
-	fmt.Printf("%s: trace of %q (format v%d, checksum OK)\n", path, t.Name(), trace.Version)
+	fmt.Printf("%s: trace of %q (format v%d, checksum OK)\n", path, t.Name(), t.FormatVersion())
 	fmt.Printf("  records     %d dynamic instructions, %s\n", t.Len(), state)
 	fmt.Printf("  text        %d static instructions\n", t.StaticLen())
 	if n := t.Len(); n > 0 {
@@ -67,6 +69,24 @@ func inspect(path string, dump, start int, verify bool) error {
 		aos := n * 104 // unsafe.Sizeof(emu.DynInst{}) on 64-bit
 		fmt.Printf("  size        %d B on disk, %d B decoded (%.1fx smaller than %d B array-of-structs)\n",
 			fi.Size(), t.SizeBytes(), float64(aos)/float64(t.SizeBytes()), aos)
+	}
+	if cks := t.Checkpoints(); len(cks) > 0 {
+		pages := 0
+		for i := range cks {
+			pages += len(cks[i].Pages)
+		}
+		fmt.Printf("  checkpoints %d (first at %d, last at %d, %d dirty pages total)\n",
+			len(cks), cks[0].Seq, cks[len(cks)-1].Seq, pages)
+	}
+
+	if listCkpts {
+		if len(t.Checkpoints()) == 0 {
+			fmt.Println("  checkpoints none (record with sdvsim -ckpt-every to embed them)")
+		}
+		for _, c := range t.Checkpoints() {
+			fmt.Printf("  ckpt @%-10d pc=%-6d pages=%-4d bhr=%#016x\n",
+				c.Seq, c.PC, len(c.Pages), c.BHR)
+		}
 	}
 
 	if dump > 0 {

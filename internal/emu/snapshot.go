@@ -1,0 +1,71 @@
+package emu
+
+import (
+	"fmt"
+
+	"specvec/internal/isa"
+)
+
+// PageSize is the granularity of memory snapshots: PageImage.Data is
+// always exactly one page.
+const PageSize = pageSize
+
+// PageImage is the content of one memory page at snapshot time.
+type PageImage struct {
+	Base uint64 // page-aligned byte address
+	Data []byte // PageSize bytes
+}
+
+// Snapshot is a compact architectural checkpoint of a Machine: the
+// committed register file, the program counter, the dynamic instruction
+// count, and the memory pages written since dirty tracking was enabled
+// (every mapped page when it never was, which still restores exactly but
+// is larger). It deliberately carries no speculative or
+// microarchitectural state — a restored machine resumes from the
+// architectural boundary with empty pipelines, cold caches and no
+// wrong-path history, exactly the state an interrupt would expose (see
+// ARCHITECTURE.md, "Speculative vs. architectural state").
+type Snapshot struct {
+	Seq   uint64 // instructions executed before the boundary
+	PC    uint64 // next instruction index
+	Regs  [isa.NumLogicalRegs]uint64
+	Pages []PageImage // dirty pages, ascending by Base
+}
+
+// TrackDirtyPages starts recording which memory pages the program
+// writes, keeping later Snapshot calls proportional to the written
+// footprint rather than the whole image. Call it on a fresh machine,
+// before the first Step.
+func (m *Machine) TrackDirtyPages() { m.mem.TrackDirty(true) }
+
+// Snapshot captures the machine's architectural state. Each snapshot is
+// self-contained: restoring it needs the program plus this one snapshot,
+// not any earlier ones (the dirty set only grows, so every snapshot
+// carries all pages written since load).
+func (m *Machine) Snapshot() Snapshot {
+	return Snapshot{Seq: m.seq, PC: m.pc, Regs: m.regs, Pages: m.mem.SnapshotPages()}
+}
+
+// Restore builds a machine positioned exactly as a straight-line
+// execution of prog after s.Seq instructions: a fresh load of prog with
+// the snapshot's registers and pages applied. Stepping it produces the
+// same dynamic records — sequence numbers included — as the tail of an
+// uninterrupted run. prog must be the program the snapshot was taken
+// from; a snapshot of a halted machine cannot exist (recording stops at
+// the halt), so the restored machine is always runnable.
+func Restore(prog *isa.Program, s *Snapshot) (*Machine, error) {
+	m, err := New(prog)
+	if err != nil {
+		return nil, err
+	}
+	for _, pg := range s.Pages {
+		if len(pg.Data) != PageSize || pg.Base%PageSize != 0 {
+			return nil, fmt.Errorf("emu: malformed snapshot page at %#x (%d bytes)", pg.Base, len(pg.Data))
+		}
+		m.mem.WriteBytes(pg.Base, pg.Data)
+	}
+	m.regs = s.Regs
+	m.pc = s.PC
+	m.seq = s.Seq
+	return m, nil
+}

@@ -1,0 +1,110 @@
+package emu
+
+import (
+	"testing"
+
+	"specvec/internal/isa"
+	"specvec/internal/workload"
+)
+
+func snapshotMachine(t *testing.T, bench string, scale int) (*isa.Program, *Machine) {
+	t.Helper()
+	b, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := b.Build(scale, 1)
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, m
+}
+
+// TestSnapshotRestoreDeterminism runs a machine to several boundaries,
+// snapshots, keeps running the original, and demands that a machine
+// restored from each snapshot reproduces the identical record stream —
+// sequence numbers included — and the identical final register state.
+func TestSnapshotRestoreDeterminism(t *testing.T) {
+	for _, bench := range []string{"compress", "swim"} {
+		prog, m := snapshotMachine(t, bench, 4000)
+		m.TrackDirtyPages()
+
+		const boundary, tail = 2500, 1500
+		for i := 0; i < boundary; i++ {
+			m.Step()
+		}
+		snap := m.Snapshot()
+		if snap.Seq != boundary {
+			t.Fatalf("%s: snapshot at seq %d, want %d", bench, snap.Seq, boundary)
+		}
+
+		r, err := Restore(prog, &snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tail; i++ {
+			want := m.Step()
+			got := r.Step()
+			if got != want {
+				t.Fatalf("%s: step %d after restore differs:\nstraight: %+v\nrestored: %+v", bench, i, want, got)
+			}
+		}
+		for i := 0; i < isa.NumLogicalRegs; i++ {
+			reg := isa.Reg(i)
+			if m.Reg(reg) != r.Reg(reg) {
+				t.Errorf("%s: register %d differs after tail: %#x vs %#x", bench, i, m.Reg(reg), r.Reg(reg))
+			}
+		}
+	}
+}
+
+// TestSnapshotDirtyPagesCompact checks that dirty tracking captures a
+// strict subset of the mapped pages (the program image does not count as
+// dirty) while still restoring exactly.
+func TestSnapshotDirtyPagesCompact(t *testing.T) {
+	prog, m := snapshotMachine(t, "gcc", 4000)
+	m.TrackDirtyPages()
+	for i := 0; i < 2000; i++ {
+		m.Step()
+	}
+	snap := m.Snapshot()
+	if len(snap.Pages) >= m.Mem().PageCount() {
+		t.Errorf("dirty snapshot has %d pages, mapped %d; tracking saved nothing",
+			len(snap.Pages), m.Mem().PageCount())
+	}
+
+	// An untracked machine snapshots every mapped page; both restore to
+	// the same observable state.
+	_, full := snapshotMachine(t, "gcc", 4000)
+	for i := 0; i < 2000; i++ {
+		full.Step()
+	}
+	fullSnap := full.Snapshot()
+	if len(fullSnap.Pages) != full.Mem().PageCount() {
+		t.Fatalf("untracked snapshot has %d pages, mapped %d", len(fullSnap.Pages), full.Mem().PageCount())
+	}
+	a, err := Restore(prog, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Restore(prog, &fullSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if x, y := a.Step(), b.Step(); x != y {
+			t.Fatalf("step %d: dirty-page restore diverges from full restore:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+// TestRestoreRejectsMalformedPage covers the snapshot-shape guard.
+func TestRestoreRejectsMalformedPage(t *testing.T) {
+	prog, m := snapshotMachine(t, "compress", 2000)
+	snap := m.Snapshot()
+	snap.Pages = append(snap.Pages, PageImage{Base: 1, Data: make([]byte, 3)})
+	if _, err := Restore(prog, &snap); err == nil {
+		t.Error("restore accepted a malformed page")
+	}
+}

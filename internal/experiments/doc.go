@@ -12,7 +12,10 @@
 // simulation of a benchmark builds the program and records its dynamic
 // instruction stream (internal/trace) while running, and every other
 // configuration replays the recording instead of re-running functional
-// emulation. See EXPERIMENTS.md for paper-vs-measured results and the
-// performance methodology, and ARCHITECTURE.md for the figure → code map
-// and the trace subsystem.
+// emulation. With Options.Shards > 1 each simulation is further split
+// into checkpoint-fast-forwarded intervals that run concurrently
+// (shard.go) and merge their statistics — exact single-pass behaviour is
+// kept at Shards <= 1. See EXPERIMENTS.md for paper-vs-measured results
+// and the performance methodology, and ARCHITECTURE.md for the figure →
+// code map, the trace subsystem and the sharding accuracy contract.
 package experiments

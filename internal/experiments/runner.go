@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +35,28 @@ type Options struct {
 	// the only one. Results are byte-identical either way; the flag exists
 	// for benchmarking the sharing itself and as an escape hatch.
 	NoSharedTraces bool
+	// Shards splits every (configuration, benchmark) simulation into this
+	// many measured intervals, each fast-forwarded to a trace checkpoint
+	// and dispatched to the worker pool, with per-interval statistics
+	// merged in a fixed order. <= 1 is exact mode: the single-pass
+	// behaviour, byte-identical to a Runner without sharding. Sharded
+	// (K > 1) figures agree with exact ones within the warmup tolerance
+	// (see ShardWarmup); a single large benchmark stops being a
+	// sequential wall because its intervals run concurrently.
+	// NoSharedTraces disables sharding too: without a shared recording
+	// there are no checkpoints to fast-forward to.
+	Shards int
+	// CheckpointEvery is the interval, in committed instructions, between
+	// architectural checkpoints embedded in recorded traces. <= 0
+	// defaults to twice ShardWarmup when sharding is enabled — spacing is
+	// warmup-relative, not Scale-relative, so the duplicated warmup work
+	// per shard stays small — and records no checkpoints otherwise.
+	CheckpointEvery int
+	// ShardWarmup is the minimum number of instructions a shard replays
+	// before its measured interval begins, re-warming caches, the branch
+	// predictor and the SDV structures from the restored boundary. <= 0
+	// defaults to DefaultShardWarmup when sharding is enabled.
+	ShardWarmup int
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -50,6 +73,19 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards > 1 {
+		if o.ShardWarmup <= 0 {
+			o.ShardWarmup = DefaultShardWarmup
+		}
+		if o.CheckpointEvery <= 0 {
+			// A shard's warmup is ShardWarmup plus up to one checkpoint
+			// interval of slack (it fast-forwards to the latest boundary at
+			// least ShardWarmup before its interval), so checkpoints are
+			// spaced relative to the warmup — not the interval — to keep
+			// the duplicated work per shard small.
+			o.CheckpointEvery = max(1024, 2*o.ShardWarmup)
+		}
 	}
 	return o
 }
@@ -105,15 +141,27 @@ type call struct {
 // program and the recorded dynamic instruction stream, shared by every
 // configuration that simulates the benchmark. The first requester records
 // (while its own timing simulation runs); every later requester replays.
-// tr is nil when the recording was unusable (the program did not halt
-// within the record cap); followers then fall back to live emulation of
-// the shared program.
+// The resolved fields encode three outcomes:
+//
+//   - prog != nil, tr != nil: recording usable, followers replay.
+//   - prog != nil, tr == nil: recording failed; err wraps
+//     ErrRecordingUnusable (never nil — publishTrace enforces it) and
+//     followers fall back to live emulation of the shared program.
+//   - prog == nil: program construction failed; err is fatal for every
+//     run of the benchmark.
 type traceCall struct {
 	done chan struct{}
 	prog *isa.Program
 	tr   *trace.Trace
-	err  error // program construction failure: every run of the bench fails
+	err  error
 }
+
+// ErrRecordingUnusable marks a shared-trace entry whose recording failed
+// after the benchmark program itself was built: the benchmark is still
+// simulable, so followers emulate live instead of replaying. It replaces
+// the old behaviour of silently discarding rec.Finish errors, which
+// published a nil trace with a nil error to every follower.
+var ErrRecordingUnusable = errors.New("experiments: benchmark recording unusable")
 
 // Runner executes (configuration, benchmark) pairs on a bounded worker
 // pool with two memo layers: per-(config, benchmark) statistics, and
@@ -214,7 +262,14 @@ func (r *Runner) sharedTrace(bench string) (*traceCall, bool) {
 }
 
 // publishTrace resolves a leader's trace entry and wakes the followers.
+// An entry without a trace must carry the reason: a nil trace published
+// with a nil error would leave followers unable to distinguish "the
+// recording failed" from anything else (the swallowed-error bug this
+// guard pins shut), so such a call is coerced to ErrRecordingUnusable.
 func (r *Runner) publishTrace(tc *traceCall, prog *isa.Program, tr *trace.Trace, err error) {
+	if tr == nil && err == nil {
+		err = ErrRecordingUnusable
+	}
 	tc.prog, tc.tr, tc.err = prog, tr, err
 	if tr != nil {
 		r.recorded.Add(1)
@@ -251,22 +306,69 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 
 	tc, leader := r.sharedTrace(bench)
 	if leader {
-		return r.recordRun(cfg, bench, tc)
+		if r.opts.Shards > 1 {
+			// Sharded mode records with a pure functional pass (embedding
+			// checkpoints) so the leader's own timing run can be sharded
+			// exactly like every follower's; it then falls through to the
+			// common post-publish paths below.
+			r.recordShared(bench, tc)
+		} else {
+			return r.recordRun(cfg, bench, tc)
+		}
 	}
-	if tc.err != nil {
+	if tc.prog == nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, tc.err)
 	}
 	if !r.usable(tc.tr, cfg) {
-		// Unusable recording (or one too short for this configuration's
-		// in-flight capacity): emulate live on the shared program.
+		// Failed recording (tc.err says why — see ErrRecordingUnusable) or
+		// one too short for this configuration's in-flight capacity:
+		// emulate live on the shared program.
 		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
 			return pipeline.New(cfg, tc.prog)
 		})
 	}
 	r.replayed.Add(1)
+	if r.opts.Shards > 1 {
+		return r.shardedReplay(cfg, bench, tc.tr)
+	}
 	return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
 		return pipeline.NewFromSource(cfg, trace.NewReplayer(tc.tr, pipeline.SourceWindow(cfg)))
 	})
+}
+
+// recordShared resolves a leader's trace entry with a pure functional
+// recording pass (no timing simulation), embedding checkpoints when the
+// runner is configured for them. The entry is always resolved. Sharded
+// sweeps and stream-only experiments (VecLen) record this way.
+func (r *Runner) recordShared(bench string, tc *traceCall) {
+	prog, err := r.buildProgram(bench)
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return
+	}
+	mach, err := emu.New(prog)
+	if err != nil {
+		r.publishTrace(tc, nil, nil, err)
+		return
+	}
+	rec, err := trace.NewRecorder(mach, prog, 0)
+	if err != nil {
+		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+		return
+	}
+	if r.opts.CheckpointEvery > 0 {
+		if err := rec.EnableCheckpoints(r.opts.CheckpointEvery); err != nil {
+			r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+			return
+		}
+	}
+	rec.Reserve(r.recordTarget())
+	tr, recErr := rec.Finish(r.recordTarget())
+	if recErr != nil {
+		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, recErr))
+		return
+	}
+	r.publishTrace(tc, prog, tr, nil)
 }
 
 // recordRun is the leader's simulation: it records the dynamic stream
@@ -286,8 +388,16 @@ func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*sta
 	}
 	rec, err := trace.NewRecorder(mach, prog, pipeline.SourceWindow(cfg))
 	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
+		// The program is fine; only the recording is lost. Followers fall
+		// back to live emulation while this leader reports the failure.
+		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
 		return nil, err
+	}
+	if r.opts.CheckpointEvery > 0 {
+		if err := rec.EnableCheckpoints(r.opts.CheckpointEvery); err != nil {
+			r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+			return nil, err
+		}
 	}
 	rec.Reserve(r.recordTarget())
 	st, simErr := r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
@@ -295,12 +405,16 @@ func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*sta
 	})
 	// Finish extends the recording to its target length even when the
 	// timing run stopped early (commit limit) or failed (an invalid
-	// configuration must not poison the benchmark for other configs).
+	// configuration must not poison the benchmark for other configs). A
+	// Finish failure is published with its cause, never as a bare nil
+	// trace: followers fall back to live emulation and anyone inspecting
+	// the entry sees why the recording was dropped.
 	tr, recErr := rec.Finish(r.recordTarget())
 	if recErr != nil {
-		tr = nil
+		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, recErr))
+	} else {
+		r.publishTrace(tc, prog, tr, nil)
 	}
-	r.publishTrace(tc, prog, tr, nil)
 	return st, simErr
 }
 

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"specvec/internal/config"
+	"specvec/internal/pipeline"
+	"specvec/internal/stats"
+	"specvec/internal/trace"
+)
+
+// Checkpointed fast-forward: a recorded trace with embedded checkpoints
+// lets one (configuration, benchmark) simulation split into K measured
+// intervals that run concurrently. Each shard starts its replay at the
+// latest checkpoint comfortably before its interval, seeds the branch
+// predictor with the recorded outcome history, re-warms
+// microarchitectural state across the warmup window, and measures only
+// its own interval; the per-interval statistics are merged in shard
+// order, so results are deterministic regardless of scheduling.
+
+// DefaultShardWarmup is the minimum number of instructions a shard
+// replays before measurement begins. Restored checkpoints carry
+// architectural state only — caches, predictor tables and the SDV
+// structures start cold — so the warmup window exists to re-train them;
+// 4096 instructions cover the deepest configuration's in-flight capacity
+// several times over.
+const DefaultShardWarmup = 4096
+
+// shardSpec is one fast-forwarded interval of a sharded run.
+type shardSpec struct {
+	replayFrom uint64 // source offset replay starts at (checkpoint boundary or 0)
+	bhr        uint64 // branch-outcome history recorded at that boundary
+	seedBHR    bool
+	warmup     uint64 // commits before measurement (replayFrom..start)
+	measure    uint64 // measured commits (start..end)
+}
+
+// shardPlan splits [0, total) committed instructions into shards
+// intervals. Each interval fast-forwards to the latest checkpoint at
+// least warmup records before its start, so its warmup is within
+// [warmup, warmup+checkpoint interval); with no usable checkpoint the
+// shard replays from record zero (correct, just a longer warmup). A
+// halted trace shorter than total clamps the plan to what was recorded.
+func shardPlan(tr *trace.Trace, total uint64, shards int, warmup uint64) []shardSpec {
+	if n := uint64(tr.Len()); tr.Halted() && n < total {
+		total = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if uint64(shards) > total && total > 0 {
+		shards = int(total)
+	}
+	step := total / uint64(shards)
+	plan := make([]shardSpec, 0, shards)
+	for i := 0; i < shards; i++ {
+		start := uint64(i) * step
+		end := start + step
+		if i == shards-1 {
+			end = total
+		}
+		sp := shardSpec{measure: end - start}
+		var warmStart uint64
+		if start > warmup {
+			warmStart = start - warmup
+		}
+		if ck, ok := tr.CheckpointBefore(warmStart); ok {
+			sp.replayFrom = ck.Seq
+			sp.bhr = ck.BHR
+			sp.seedBHR = true
+		}
+		sp.warmup = start - sp.replayFrom
+		plan = append(plan, sp)
+	}
+	return plan
+}
+
+// runShard executes one interval of the plan.
+func runShard(cfg config.Config, tr *trace.Trace, sp shardSpec) (*stats.Sim, error) {
+	rep := trace.NewReplayerAt(tr, pipeline.SourceWindow(cfg), sp.replayFrom)
+	sim, err := pipeline.NewFromSource(cfg, rep)
+	if err != nil {
+		return nil, err
+	}
+	if sp.seedBHR {
+		sim.SeedBranchHistory(sp.bhr)
+	}
+	return sim.RunInterval(sp.warmup, sp.measure)
+}
+
+// runShards executes a plan concurrently — one worker-pool slot per
+// in-flight shard — and merges the interval statistics in shard order.
+func runShards(cfg config.Config, tr *trace.Trace, plan []shardSpec, sem chan struct{}) (*stats.Sim, error) {
+	results := make([]*stats.Sim, len(plan))
+	errs := make([]error, len(plan))
+	var wg sync.WaitGroup
+	for i, sp := range plan {
+		wg.Add(1)
+		go func(i int, sp shardSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = runShard(cfg, tr, sp)
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(results) == 0 {
+		return stats.New(), nil
+	}
+	merged := results[0]
+	for _, st := range results[1:] {
+		merged.Merge(st)
+	}
+	return merged, nil
+}
+
+// shardedReplay runs one sharded simulation on the runner's worker pool.
+// The caller (Run) holds one pool slot; it is released while the shards
+// fan out — each shard acquires its own — and re-acquired before
+// returning so Run's release stays balanced and total concurrency never
+// exceeds Workers.
+func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace) (*stats.Sim, error) {
+	plan := shardPlan(tr, uint64(r.opts.Scale), r.opts.Shards, uint64(r.opts.ShardWarmup))
+	<-r.sem
+	st, err := runShards(cfg, tr, plan, r.sem)
+	r.sem <- struct{}{}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
+	}
+	return st, nil
+}
+
+// ShardedReplay simulates total committed instructions of a recorded
+// trace under cfg as shards checkpoint-fast-forwarded intervals running
+// on up to workers goroutines, and merges the per-interval statistics
+// (sdvsim -trace-replay -shards). shards <= 1 is exact mode: one
+// single-pass replay, byte-identical to an unsharded run. warmup <= 0
+// uses DefaultShardWarmup; workers <= 0 uses every core. A trace without
+// checkpoints still shards correctly, but every shard then replays from
+// record zero, serializing most of the win.
+func ShardedReplay(cfg config.Config, tr *trace.Trace, total uint64, shards, warmup, workers int) (*stats.Sim, error) {
+	if shards <= 1 {
+		sim, err := pipeline.NewFromSource(cfg, trace.NewReplayer(tr, pipeline.SourceWindow(cfg)))
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(total)
+	}
+	if warmup <= 0 {
+		warmup = DefaultShardWarmup
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return runShards(cfg, tr, shardPlan(tr, total, shards, uint64(warmup)), make(chan struct{}, workers))
+}

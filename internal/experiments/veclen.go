@@ -2,40 +2,25 @@ package experiments
 
 import (
 	"specvec/internal/emu"
-	"specvec/internal/trace"
 	"specvec/internal/workload"
 )
 
 // functionalTrace returns the bench's shared trace entry, recording it
 // with a pure functional pass (no timing simulation) when no entry exists
 // yet. Experiments that only need the dynamic stream (VecLen) share the
-// same recording that timing sweeps replay.
+// same recording that timing sweeps replay. The error is non-nil only
+// when the benchmark cannot be simulated at all (program construction
+// failed); a failed recording propagates through tc.err — wrapping
+// ErrRecordingUnusable, never a silent nil — and callers fall back to
+// live emulation of tc.prog.
 func (r *Runner) functionalTrace(bench string) (*traceCall, error) {
 	tc, leader := r.sharedTrace(bench)
-	if !leader {
+	if leader {
+		r.recordShared(bench, tc)
+	}
+	if tc.prog == nil {
 		return tc, tc.err
 	}
-	prog, err := r.buildProgram(bench)
-	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
-		return tc, err
-	}
-	mach, err := emu.New(prog)
-	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
-		return tc, err
-	}
-	rec, err := trace.NewRecorder(mach, prog, 0)
-	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
-		return tc, err
-	}
-	rec.Reserve(r.recordTarget())
-	tr, recErr := rec.Finish(r.recordTarget())
-	if recErr != nil {
-		tr = nil
-	}
-	r.publishTrace(tc, prog, tr, nil)
 	return tc, nil
 }
 

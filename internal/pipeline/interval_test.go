@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"specvec/internal/config"
+	"specvec/internal/isa"
+	"specvec/internal/workload"
+)
+
+func intervalSim(t *testing.T, cfg config.Config, prog *isa.Program) *Simulator {
+	t.Helper()
+	sim, err := New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func intervalProg(t *testing.T, bench string) *isa.Program {
+	t.Helper()
+	b, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build(10_000, 1)
+}
+
+// TestRunIntervalZeroWarmupMatchesRun pins the exactness contract:
+// RunInterval(0, n) on a fresh simulator produces the same figures as
+// Run(n), field for field.
+func TestRunIntervalZeroWarmupMatchesRun(t *testing.T) {
+	prog := intervalProg(t, "compress")
+	cfg := config.MustNamed(4, 1, config.ModeV)
+
+	plain, err := intervalSim(t, cfg, prog).Run(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval, err := intervalSim(t, cfg, prog).RunInterval(0, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, interval) {
+		t.Errorf("RunInterval(0, n) differs from Run(n):\nrun:      %+v\ninterval: %+v", plain, interval)
+	}
+}
+
+// TestRunIntervalExcludesWarmup checks that a measured interval contains
+// only its own progress: the warmup commits are subtracted out (up to
+// the commit-width overshoot at the boundary), and the measured counters
+// are those of the matching window of a straight run.
+func TestRunIntervalExcludesWarmup(t *testing.T) {
+	prog := intervalProg(t, "swim")
+	cfg := config.MustNamed(4, 1, config.ModeV)
+	const warmup, measure = 3000, 4000
+
+	st, err := intervalSim(t, cfg, prog).RunInterval(warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed < measure || st.Committed >= measure+uint64(cfg.CommitWidth) {
+		t.Errorf("measured interval committed %d, want [%d, %d)", st.Committed, measure, measure+uint64(cfg.CommitWidth))
+	}
+
+	// The same window cut out by differencing two independent straight
+	// runs must agree on the progress counters untouched by Finalize: the
+	// simulator is deterministic, so the full run's state as it crosses
+	// the warmup boundary matches the head run's final state exactly.
+	head, err := intervalSim(t, cfg, prog).RunInterval(0, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := intervalSim(t, cfg, prog).RunInterval(0, warmup+measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCommitted := full.Committed - head.Committed
+	wantCycles := full.Cycles - head.Cycles
+	wantMem := full.MemAccesses - head.MemAccesses
+	if st.Committed != wantCommitted || st.Cycles != wantCycles || st.MemAccesses != wantMem {
+		t.Errorf("interval (committed %d, cycles %d, mem %d) != differenced window (committed %d, cycles %d, mem %d)",
+			st.Committed, st.Cycles, st.MemAccesses, wantCommitted, wantCycles, wantMem)
+	}
+}

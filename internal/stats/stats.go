@@ -28,7 +28,12 @@ func (h *Histogram) AddN(i int, n uint64) {
 	h.Buckets[i] += n
 }
 
-// Count returns the count in bucket i.
+// Count returns the count in bucket i. Every out-of-range index —
+// negative indexes included — addresses the single shared overflow
+// bucket, mirroring Add/AddN which route the same indexes there;
+// Count(-1) is the idiomatic read of the overflow count (Figure 1's
+// "other" column uses it via Fraction). TestHistogramCountContract pins
+// this.
 func (h *Histogram) Count(i int) uint64 {
 	if i < 0 || i >= len(h.Buckets) {
 		return h.Overflow
@@ -54,7 +59,10 @@ func (h *Histogram) Fraction(i int) float64 {
 	return float64(h.Count(i)) / float64(t)
 }
 
-// Merge adds other's counts into h (bucket counts must match).
+// Merge adds other's counts into h. Mismatched bucket counts are
+// tolerated: counts from buckets beyond h's range spill into h's
+// overflow (exactly where AddN would have put them), so no count is ever
+// dropped. TestHistogramMergeMismatch pins this.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, b := range other.Buckets {
 		if i < len(h.Buckets) {
@@ -64,6 +72,21 @@ func (h *Histogram) Merge(other *Histogram) {
 		}
 	}
 	h.Overflow += other.Overflow
+}
+
+// Clone returns a deep copy of h.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{Buckets: append([]uint64(nil), h.Buckets...), Overflow: h.Overflow}
+}
+
+// Sub subtracts other's counts from h. Both histograms must have the
+// same bucket count and other must be an earlier snapshot of h (counts
+// only grow during a run), so the difference isolates an interval.
+func (h *Histogram) Sub(other *Histogram) {
+	for i, b := range other.Buckets {
+		h.Buckets[i] -= b
+	}
+	h.Overflow -= other.Overflow
 }
 
 // Sim aggregates all counters for one simulation run.

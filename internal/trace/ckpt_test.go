@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"specvec/internal/emu"
+	"specvec/internal/isa"
+)
+
+// recordWithCheckpoints records prog with a checkpoint every `every`
+// records, up to cap.
+func recordWithCheckpoints(t testing.TB, prog *isa.Program, every, cap int) *Trace {
+	t.Helper()
+	rec, err := NewRecorder(newMachine(t, prog), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EnableCheckpoints(every); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Finish(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCheckpointRestoreMatchesTail is the determinism contract of the
+// checkpoint subsystem: restoring the machine at every checkpoint
+// boundary and stepping it forward must reproduce exactly the tail of
+// the straight-line recording, sequence numbers included.
+func TestCheckpointRestoreMatchesTail(t *testing.T) {
+	for _, bench := range []string{"compress", "swim"} {
+		prog := buildBench(t, bench, 4000)
+		tr := recordWithCheckpoints(t, prog, 1500, 1<<22)
+		if len(tr.Checkpoints()) < 2 {
+			t.Fatalf("%s: only %d checkpoints in %d records", bench, len(tr.Checkpoints()), tr.Len())
+		}
+		var want, got emu.DynInst
+		for _, ck := range tr.Checkpoints() {
+			m, err := emu.Restore(prog, &ck.Snapshot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int(ck.Seq); i < tr.Len(); i++ {
+				got = m.Step()
+				tr.Record(i, &want)
+				if got != want {
+					t.Fatalf("%s: restored at %d, record %d differs:\ntrace:    %+v\nrestored: %+v",
+						bench, ck.Seq, i, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointBHRMatchesOutcomes re-derives the branch history from
+// the recorded outcomes and compares it to each checkpoint's BHR.
+func TestCheckpointBHRMatchesOutcomes(t *testing.T) {
+	prog := buildBench(t, "go", 4000)
+	tr := recordWithCheckpoints(t, prog, 1000, 1<<22)
+	var bhr uint64
+	var d emu.DynInst
+	next := 0
+	cks := tr.Checkpoints()
+	for i := 0; i < tr.Len() && next < len(cks); i++ {
+		if uint64(i) == cks[next].Seq {
+			if cks[next].BHR != bhr {
+				t.Fatalf("checkpoint at %d: BHR %#x, outcomes say %#x", cks[next].Seq, cks[next].BHR, bhr)
+			}
+			next++
+		}
+		tr.Record(i, &d)
+		if d.Inst.IsBranch() {
+			bhr <<= 1
+			if d.Taken {
+				bhr |= 1
+			}
+		}
+	}
+	if next != len(cks) {
+		t.Fatalf("only %d of %d checkpoints visited", next, len(cks))
+	}
+}
+
+// TestCheckpointRoundTrip pins the codec's checkpoint section: encode,
+// decode, deep-equal — registers, pages and BHR included.
+func TestCheckpointRoundTrip(t *testing.T) {
+	tr := recordWithCheckpoints(t, buildBench(t, "compress", 3000), 1000, 1<<22)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("checkpointed trace changed across round-trip")
+	}
+}
+
+// TestCheckpointSectionRejectsCorruption sweeps single-byte corruptions
+// and truncations across a checkpointed encoding, exactly like the
+// corruption test for the base sections: every one must be rejected.
+func TestCheckpointSectionRejectsCorruption(t *testing.T) {
+	tr := recordWithCheckpoints(t, buildBench(t, "compress", 2000), 800, 1<<22)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine checkpointed file rejected: %v", err)
+	}
+	step := 1 + len(good)/257
+	if testing.Short() {
+		step = 1 + len(good)/64 // the race run samples; the full run sweeps
+	}
+	for off := 0; off < len(good); off += step {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x40
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at offset %d/%d accepted", off, len(good))
+		}
+	}
+	for _, n := range []int{len(good) - 1, len(good) - 4, len(good) - emu.PageSize/2, len(good) / 2} {
+		if _, err := Decode(bytes.NewReader(good[:n])); err == nil {
+			t.Errorf("truncated file (%d of %d bytes) accepted", n, len(good))
+		}
+	}
+}
+
+// TestCheckpointBefore covers the boundary-picking rule shards rely on.
+func TestCheckpointBefore(t *testing.T) {
+	tr := recordWithCheckpoints(t, buildBench(t, "compress", 4000), 1000, 1<<22)
+	if _, ok := tr.CheckpointBefore(0); ok {
+		t.Error("found a checkpoint before record 0")
+	}
+	if _, ok := tr.CheckpointBefore(999); ok {
+		t.Error("found a checkpoint before the first boundary")
+	}
+	for _, seq := range []uint64{1000, 1500, 2000, 3999, 1 << 30} {
+		ck, ok := tr.CheckpointBefore(seq)
+		if !ok {
+			t.Fatalf("no checkpoint at or before %d", seq)
+		}
+		want := (seq / 1000) * 1000
+		if max := tr.Checkpoints()[len(tr.Checkpoints())-1].Seq; want > max {
+			want = max
+		}
+		if ck.Seq != want {
+			t.Errorf("CheckpointBefore(%d) = %d, want %d", seq, ck.Seq, want)
+		}
+	}
+}
+
+// TestReplayerAt checks that an offset replayer serves exactly the tail
+// of the trace with original sequence numbers, refuses to rewind below
+// its base, and keeps Peek honest about never-materialized records.
+func TestReplayerAt(t *testing.T) {
+	tr := record(t, buildBench(t, "compress", 3000), 1<<22)
+	const start = 1000
+	full := NewReplayer(tr, 512)
+	for i := 0; i < start; i++ {
+		if _, ok := full.NextRef(); !ok {
+			t.Fatal("trace too short")
+		}
+	}
+	at := NewReplayerAt(tr, 512, start)
+	if at.Pos() != start {
+		t.Fatalf("offset replayer starts at %d, want %d", at.Pos(), start)
+	}
+	if _, ok := at.Peek(start - 1); ok {
+		t.Error("Peek returned a record before the replay base")
+	}
+	// Same randomized advance/rewind comparison as walk, with rewinds
+	// clamped to the replay base (a pipeline never squashes below the
+	// first record it fetched).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		if rng.Intn(64) == 0 && full.Pos() > start {
+			back := uint64(rng.Intn(100)) + 1
+			if back > full.Pos()-start {
+				back = full.Pos() - start
+			}
+			full.Rewind(full.Pos() - back)
+			at.Rewind(at.Pos() - back)
+		}
+		w, wok := full.Next()
+		g, gok := at.Next()
+		if wok != gok {
+			t.Fatalf("step %d: ok %v vs %v", i, wok, gok)
+		}
+		if !wok {
+			break
+		}
+		if w != g {
+			t.Fatalf("step %d: record mismatch\nfull:   %+v\noffset: %+v", i, w, g)
+		}
+	}
+
+	at2 := NewReplayerAt(tr, 512, start)
+	at2.NextRef()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rewind below the replay base did not panic")
+			}
+		}()
+		at2.Rewind(start - 1)
+	}()
+}
+
+// FuzzDecodeCheckpoints feeds arbitrary bytes — seeded with valid plain
+// and checkpointed encodings — to Decode: it must never panic, and
+// anything it accepts must survive an encode/decode round-trip
+// unchanged.
+func FuzzDecodeCheckpoints(f *testing.F) {
+	plain := record(f, buildBench(f, "compress", 600), 1<<22)
+	var buf bytes.Buffer
+	if err := plain.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+
+	prog := buildBench(f, "compress", 600)
+	rec, err := NewRecorder(newMachine(f, prog), prog, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := rec.EnableCheckpoints(200); err != nil {
+		f.Fatal(err)
+	}
+	ck, err := rec.Finish(1 << 22)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ck.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SDVT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.Encode(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		// Re-encoding legitimately upgrades the format version (a decoded
+		// v1 file writes back as the current version); everything else
+		// must round-trip unchanged.
+		back.version = tr.version
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatal("decode(encode(decode(data))) differs from decode(data)")
+		}
+	})
+}

@@ -10,14 +10,15 @@ import (
 	"math"
 	"os"
 
+	"specvec/internal/emu"
 	"specvec/internal/isa"
 )
 
-// On-disk format (version 1), little-endian, streamed:
+// On-disk format (version 2), little-endian, streamed:
 //
 //	magic   [4]byte "SDVT"
 //	version uint16
-//	fflags  uint16            bit 0: truncated
+//	fflags  uint16            bit 0: truncated, bit 1: checkpoint section
 //	name    uvarint len + bytes
 //	counts  uvarint ×3        static instructions, records, tuples
 //	text    per instruction: op, rd, rs1, rs2 (bytes) + zigzag-varint imm
@@ -25,19 +26,27 @@ import (
 //	flags   one byte per record
 //	tupleIdx zigzag-varint delta from the previous record's index
 //	tuples  uvarint per value (tupleWords values per tuple)
+//	ckpts   (only with fflags bit 1) uvarint count, then per checkpoint:
+//	        seq, pc, bhr uvarints; one uvarint per logical register; page
+//	        count uvarint; per page a base-address uvarint + emu.PageSize
+//	        raw bytes
 //	crc32   uint32 (IEEE) over every preceding byte, header included
 //
 // PCs and tuple indexes are delta-encoded because both are locally
 // repetitive (loops revisit nearby PCs and recent operand tuples), which
-// keeps most deltas in one or two varint bytes.
+// keeps most deltas in one or two varint bytes. Version 1 files (no
+// checkpoint section) remain decodable; version 2 only appends the
+// optional section.
 
 var magic = [4]byte{'S', 'D', 'V', 'T'}
 
-// Version is the current on-disk format version.
-const Version = 1
+// Version is the current on-disk format version. Decode accepts every
+// version from 1 up to it.
+const Version = 2
 
 const (
-	fmtTruncated uint16 = 1 << 0
+	fmtTruncated   uint16 = 1 << 0
+	fmtCheckpoints uint16 = 1 << 1
 
 	// maxCount bounds decoded element counts so a corrupt header cannot
 	// drive allocation before the checksum is verified.
@@ -86,6 +95,9 @@ func (t *Trace) Encode(w io.Writer) error {
 	if t.truncated {
 		ff |= fmtTruncated
 	}
+	if len(t.ckpts) > 0 {
+		ff |= fmtCheckpoints
+	}
 	binary.LittleEndian.PutUint16(hdr[2:], ff)
 	if _, err := c.Write(hdr[:]); err != nil {
 		return err
@@ -129,6 +141,35 @@ func (t *Trace) Encode(w io.Writer) error {
 	for _, v := range t.tuples {
 		if err := c.uvarint(v); err != nil {
 			return err
+		}
+	}
+	if len(t.ckpts) > 0 {
+		if err := c.uvarint(uint64(len(t.ckpts))); err != nil {
+			return err
+		}
+		for i := range t.ckpts {
+			ck := &t.ckpts[i]
+			for _, v := range []uint64{ck.Seq, ck.PC, ck.BHR} {
+				if err := c.uvarint(v); err != nil {
+					return err
+				}
+			}
+			for _, reg := range ck.Regs {
+				if err := c.uvarint(reg); err != nil {
+					return err
+				}
+			}
+			if err := c.uvarint(uint64(len(ck.Pages))); err != nil {
+				return err
+			}
+			for _, pg := range ck.Pages {
+				if err := c.uvarint(pg.Base); err != nil {
+					return err
+				}
+				if _, err := c.Write(pg.Data); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	var sum [4]byte
@@ -194,8 +235,9 @@ func Decode(r io.Reader) (*Trace, error) {
 	if [4]byte(hdr[:4]) != magic {
 		return nil, fmt.Errorf("trace: bad magic %q (not a trace file)", hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", v, Version)
+	v := binary.LittleEndian.Uint16(hdr[4:])
+	if v < 1 || v > Version {
+		return nil, fmt.Errorf("trace: unsupported format version %d (have 1..%d)", v, Version)
 	}
 	ff := binary.LittleEndian.Uint16(hdr[6:])
 
@@ -224,6 +266,7 @@ func Decode(r io.Reader) (*Trace, error) {
 	// huge allocation before the data (and finally the checksum) is seen.
 	t := &Trace{
 		name:      string(name),
+		version:   v,
 		truncated: ff&fmtTruncated != 0,
 		insts:     make([]isa.Inst, 0, clampCap(nInsts)),
 		pcs:       make([]uint32, 0, clampCap(nRecs)),
@@ -284,6 +327,44 @@ func Decode(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: reading tuples: %w", err)
 		}
 		t.tuples = append(t.tuples, v)
+	}
+	if ff&fmtCheckpoints != 0 {
+		nCkpts, err := c.count("checkpoint")
+		if err != nil {
+			return nil, err
+		}
+		t.ckpts = make([]Checkpoint, 0, clampCap(nCkpts))
+		for i := 0; i < nCkpts; i++ {
+			var ck Checkpoint
+			for _, dst := range []*uint64{&ck.Seq, &ck.PC, &ck.BHR} {
+				if *dst, err = c.uvarint(); err != nil {
+					return nil, fmt.Errorf("trace: reading checkpoint %d: %w", i, err)
+				}
+			}
+			for r := range ck.Regs {
+				if ck.Regs[r], err = c.uvarint(); err != nil {
+					return nil, fmt.Errorf("trace: reading checkpoint %d registers: %w", i, err)
+				}
+			}
+			nPages, err := c.count("checkpoint page")
+			if err != nil {
+				return nil, err
+			}
+			// Pages are read one at a time (4 KiB each), so a corrupt page
+			// count cannot drive a large allocation: the stream runs out
+			// long before the loop does.
+			for j := 0; j < nPages; j++ {
+				pg := emu.PageImage{Data: make([]byte, emu.PageSize)}
+				if pg.Base, err = c.uvarint(); err != nil {
+					return nil, fmt.Errorf("trace: reading checkpoint %d page %d: %w", i, j, err)
+				}
+				if err := c.full(pg.Data); err != nil {
+					return nil, fmt.Errorf("trace: reading checkpoint %d page %d: %w", i, j, err)
+				}
+				ck.Pages = append(ck.Pages, pg)
+			}
+			t.ckpts = append(t.ckpts, ck)
+		}
 	}
 
 	want := c.crc.Sum32()
