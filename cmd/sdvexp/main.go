@@ -6,30 +6,44 @@
 //	sdvexp -list
 //	sdvexp -exp fig11 [-scale 300000] [-seed 1] [-parallel N]
 //	sdvexp -exp all
+//	sdvexp -exp fig11 -server http://127.0.0.1:8077
 //
 // Each experiment prints one or more benchmark × series tables with INT /
-// FP / Spec95 aggregate rows, plus the paper's reference values.
+// FP / Spec95 aggregate rows, plus the paper's reference values. With
+// -server the spec is submitted to a running sdvd daemon and the result
+// tables are rendered locally — stdout is byte-identical to a local run
+// of the same scale/seed/shards (timing goes to stderr), and repeated
+// submissions are served from the daemon's result cache without
+// re-simulating.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"specvec/internal/cliutil"
 	"specvec/internal/experiments"
+	"specvec/internal/server"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1, fig3, fig7, fig9, fig10, fig11, fig12, fig13, fig14, fig15, table1, headline, veclen, ablation) or 'all'")
-		scale    = flag.Int("scale", 300_000, "approximate dynamic instructions per run")
-		seed     = flag.Int64("seed", 1, "workload data seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
-		shards   = flag.Int("shards", 1, "split each simulation into K checkpoint-fast-forwarded intervals (1 = exact single pass, byte-identical output; K > 1 trades warmup tolerance for intra-benchmark parallelism)")
-		ckptEvry = flag.Int("ckpt-every", 0, "checkpoint interval in instructions for recorded traces (0 = auto when -shards > 1)")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "all", "experiment id (fig1, fig3, fig7, fig9, fig10, fig11, fig12, fig13, fig14, fig15, table1, headline, veclen, ablation) or 'all'")
+		scale     = flag.Int("scale", 300_000, "approximate dynamic instructions per run")
+		seed      = flag.Int64("seed", 1, "workload data seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
+		shards    = flag.Int("shards", 1, "split each simulation into K checkpoint-fast-forwarded intervals (1 = exact single pass, byte-identical output; K > 1 trades warmup tolerance for intra-benchmark parallelism)")
+		ckptEvry  = flag.Int("ckpt-every", 0, "checkpoint interval in instructions for recorded traces (0 = auto when -shards > 1)")
+		serverURL = flag.String("server", "", "submit to a running sdvd daemon at this base URL instead of simulating locally (output is byte-identical)")
+		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -39,23 +53,35 @@ func main() {
 		}
 		return
 	}
+	if err := cliutil.ValidateRunFlags(*scale, *shards, *parallel); err != nil {
+		cliutil.Fatal("sdvexp", err)
+	}
+	if *ckptEvry < 0 {
+		cliutil.Fatal("sdvexp", cliutil.FlagError("ckpt-every", *ckptEvry, ">= 0"))
+	}
 
-	runner := experiments.NewRunner(experiments.Options{
-		Scale: *scale, Seed: *seed, Workers: *parallel,
-		Shards: *shards, CheckpointEvery: *ckptEvry,
-	})
 	var toRun []experiments.Experiment
 	if *exp == "all" {
 		toRun = experiments.All()
 	} else {
 		e, err := experiments.Get(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cliutil.Fatal("sdvexp", err)
 		}
 		toRun = []experiments.Experiment{e}
 	}
 
+	if *serverURL != "" {
+		if err := runRemote(*serverURL, toRun, *scale, *seed, *shards, *ckptEvry); err != nil {
+			cliutil.Fatal("sdvexp", err)
+		}
+		return
+	}
+
+	runner := experiments.NewRunner(experiments.Options{
+		Scale: *scale, Seed: *seed, Workers: *parallel,
+		Shards: *shards, CheckpointEvery: *ckptEvry,
+	})
 	for _, e := range toRun {
 		start := time.Now()
 		tables, err := e.Run(runner)
@@ -63,9 +89,84 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			fmt.Println(t.Render())
-		}
-		fmt.Printf("[%s in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		render(tables)
+		timing(e.ID, start)
 	}
+}
+
+// render prints tables exactly the same way for local and served runs,
+// so the two paths are byte-diffable.
+func render(tables []*experiments.Table) {
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}
+
+// timing reports wall clock on stderr: it varies run to run, so it must
+// not pollute the diffable stdout.
+func timing(id string, start time.Time) {
+	fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", id, time.Since(start).Seconds())
+}
+
+// runRemote submits one job per experiment to an sdvd daemon and renders
+// the returned tables. Each experiment is its own job so the daemon
+// caches — and a later invocation reuses — every figure independently.
+func runRemote(base string, toRun []experiments.Experiment, scale int, seed int64, shards, ckptEvery int) error {
+	base = strings.TrimRight(base, "/")
+	for _, e := range toRun {
+		start := time.Now()
+		spec := server.JobSpec{
+			Kind: server.KindExperiment, Exp: e.ID,
+			Scale: scale, Seed: seed, Shards: shards, CheckpointEvery: ckptEvery,
+		}
+		tables, view, err := submitAndWait(base, spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		render(tables)
+		source := view.Source
+		if source == "" {
+			source = "computed"
+		}
+		fmt.Fprintf(os.Stderr, "[%s via %s (%s) in %.1fs]\n", e.ID, base, source, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// submitAndWait posts spec with ?wait=1 and decodes the resolved job.
+func submitAndWait(base string, spec server.JobSpec) ([]*experiments.Table, *server.JobView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &apiErr) == nil && apiErr.Error != "" {
+			return nil, nil, fmt.Errorf("server: %s", apiErr.Error)
+		}
+		return nil, nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+	}
+	var view server.JobView
+	if err := json.Unmarshal(payload, &view); err != nil {
+		return nil, nil, fmt.Errorf("decoding job: %w", err)
+	}
+	if view.State != server.StateDone {
+		return nil, nil, fmt.Errorf("job %s resolved %s: %s", view.ID, view.State, view.Error)
+	}
+	var res server.Result
+	if err := json.Unmarshal(view.Result, &res); err != nil {
+		return nil, nil, fmt.Errorf("decoding result: %w", err)
+	}
+	return res.Tables, &view, nil
 }

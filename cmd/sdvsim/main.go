@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"specvec/internal/asm"
+	"specvec/internal/cliutil"
 	"specvec/internal/config"
 	"specvec/internal/emu"
 	"specvec/internal/experiments"
@@ -71,6 +72,16 @@ func main() {
 			fmt.Println(c.Name)
 		}
 		return
+	}
+
+	if err := cliutil.ValidateRunFlags(*scale, *shards, *parallel); err != nil {
+		fatal(err)
+	}
+	if *ckptEvry < 0 {
+		fatal(cliutil.FlagError("ckpt-every", *ckptEvry, ">= 0"))
+	}
+	if *max == 0 {
+		fatal(cliutil.FlagError("max", *max, "> 0"))
 	}
 
 	cfg, err := parseConfig(*cfgName)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"specvec/internal/cliutil"
 	"specvec/internal/emu"
 	"specvec/internal/trace"
 )
@@ -29,6 +30,12 @@ func main() {
 		verify = flag.Bool("verify", false, "decode and checksum only; print nothing on success")
 	)
 	flag.Parse()
+	if *dump < 0 {
+		cliutil.Fatal("sdvtrace", cliutil.FlagError("dump", *dump, ">= 0"))
+	}
+	if *start < 0 {
+		cliutil.Fatal("sdvtrace", cliutil.FlagError("start", *start, ">= 0"))
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: sdvtrace [-dump N] [-start S] [-ckpts] [-verify] FILE...")
 		os.Exit(2)

@@ -20,10 +20,13 @@
 //	internal/profile     hot-path counters (pool recycling, allocations)
 //	internal/stats       counters and histograms shared by a run
 //	internal/config      Table 1 configurations and the sweep matrix
+//	internal/server      simulation service: jobs, result cache, SSE progress
+//	internal/cliutil     shared CLI flag validation
 //	cmd/sdvsim           run one workload on one configuration
-//	cmd/sdvexp           regenerate any figure or table
+//	cmd/sdvexp           regenerate any figure or table (locally or via -server)
 //	cmd/sdvasm           assemble/disassemble/execute assembly programs
 //	cmd/sdvtrace         inspect recorded trace files
+//	cmd/sdvd             the long-running simulation daemon behind -server
 //
 // ARCHITECTURE.md walks the pipeline stage by stage, documents the SDV
 // structures against the sections of the paper that define them, and maps

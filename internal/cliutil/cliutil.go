@@ -1,0 +1,36 @@
+// Package cliutil carries the flag-validation helpers shared by the
+// sdvsim/sdvexp/sdvtrace/sdvd commands, so every tool rejects nonsense
+// values the same way: a one-line error on stderr and a nonzero exit,
+// never a silent clamp or a panic deep in the stack.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// FlagError reports an invalid flag value with the accepted range.
+func FlagError(name string, value any, want string) error {
+	return fmt.Errorf("invalid -%s %v: want %s", name, value, want)
+}
+
+// ValidateRunFlags checks the run-shape flags common to sdvsim and
+// sdvexp, returning the first violation.
+func ValidateRunFlags(scale, shards, parallel int) error {
+	if scale <= 0 {
+		return FlagError("scale", scale, "> 0")
+	}
+	if shards < 1 {
+		return FlagError("shards", shards, ">= 1")
+	}
+	if parallel < 0 {
+		return FlagError("parallel", parallel, ">= 0 (0 = all cores)")
+	}
+	return nil
+}
+
+// Fatal prints "tool: err" to stderr and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"specvec/internal/emu"
 	"specvec/internal/isa"
 	"specvec/internal/pipeline"
+	"specvec/internal/profile"
 	"specvec/internal/stats"
 	"specvec/internal/trace"
 	"specvec/internal/workload"
@@ -57,12 +59,37 @@ type Options struct {
 	// predictor and the SDV structures from the restored boundary. <= 0
 	// defaults to DefaultShardWarmup when sharding is enabled.
 	ShardWarmup int
+	// Context, when non-nil, cancels the runner: in-flight simulations
+	// abort within a few thousand cycles, queued work is not started, and
+	// Run/RunAll return the context's error. The service layer hands each
+	// job its own context so abandoned requests stop burning workers. A
+	// memo entry whose run was cancelled is evicted, so cancellation never
+	// poisons the cache for a later requester. Results are unaffected: a
+	// run that completes before cancellation is byte-identical to one
+	// without a context.
+	Context context.Context
+	// Progress, when non-nil, receives run lifecycle events (see
+	// ProgressEvent). It is called concurrently from worker goroutines —
+	// it must be safe for concurrent use and must not call back into the
+	// Runner. Observation only: results are byte-identical with or
+	// without it.
+	Progress func(ProgressEvent)
+	// Traces, when non-nil, persists recorded benchmark traces across
+	// Runner instances (see TraceStore). A leader checks the store before
+	// recording and publishes successful recordings back to it.
+	Traces TraceStore
 }
 
 // DefaultOptions returns the standard experiment scale.
 func DefaultOptions() Options {
 	return Options{Scale: 300_000, Seed: 1, Workers: runtime.GOMAXPROCS(0)}
 }
+
+// WithDefaults returns o with every defaulted field resolved — the exact
+// options a Runner built from o will report via Opts(). The service layer
+// uses it to scope trace artifact stores by effective (scale, seed,
+// checkpoint spacing) before the Runner exists.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
@@ -169,7 +196,8 @@ var ErrRecordingUnusable = errors.New("experiments: benchmark recording unusable
 // sweep. It is safe for concurrent use by multiple goroutines.
 type Runner struct {
 	opts Options
-	sem  chan struct{} // bounds concurrently executing simulations
+	ctx  context.Context // Options.Context or Background; never nil
+	sem  chan struct{}   // bounds concurrently executing simulations
 
 	mu     sync.Mutex
 	cache  map[runKey]*call
@@ -178,17 +206,59 @@ type Runner struct {
 	sims     atomic.Int64 // simulations actually executed (cache misses)
 	recorded atomic.Int64 // benchmark traces recorded (trace-cache misses)
 	replayed atomic.Int64 // simulations served from a recorded trace
+	loaded   atomic.Int64 // benchmark traces loaded from Options.Traces
+
+	// Aggregated pipeline hot-path counters across every simulation the
+	// runner executed (service /metrics). Folded via profile.HotStats.Add
+	// under hotMu — one fold per finished simulator, far off any hot path.
+	hotMu sync.Mutex
+	hot   profile.HotStats
 }
 
 // NewRunner returns a Runner with the given options.
 func NewRunner(opts Options) *Runner {
 	opts = opts.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Runner{
 		opts:   opts,
+		ctx:    ctx,
 		sem:    make(chan struct{}, opts.Workers),
 		cache:  map[runKey]*call{},
 		traces: map[string]*traceCall{},
 	}
+}
+
+// emit delivers a progress event to Options.Progress, if any.
+func (r *Runner) emit(ev ProgressEvent) {
+	if r.opts.Progress != nil {
+		r.opts.Progress(ev)
+	}
+}
+
+// cancelled reports whether err is a context cancellation (the runner's
+// own or a deadline).
+func cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// collectHot folds one finished simulator's hot-path counters into the
+// runner's aggregate.
+func (r *Runner) collectHot(h profile.HotStats) {
+	r.hotMu.Lock()
+	r.hot.Add(h)
+	r.hotMu.Unlock()
+}
+
+// HotStats returns pool-traffic counters aggregated over every simulation
+// the runner executed. JournalDepth is zero: it is per-simulator state,
+// not a sum (see profile.HotStats.Add).
+func (r *Runner) HotStats() profile.HotStats {
+	r.hotMu.Lock()
+	defer r.hotMu.Unlock()
+	return r.hot
 }
 
 // Opts returns the runner's options.
@@ -207,6 +277,10 @@ func (r *Runner) TraceRecordings() int64 { return r.recorded.Load() }
 // instead of live functional emulation.
 func (r *Runner) TraceReplays() int64 { return r.replayed.Load() }
 
+// TraceLoads returns how many benchmark traces were served by
+// Options.Traces instead of being recorded.
+func (r *Runner) TraceLoads() int64 { return r.loaded.Load() }
+
 // Run simulates benchmark bench under cfg and returns its statistics.
 // Results are memoised on (config name, variant flags, benchmark); an
 // in-flight run for the same key is joined rather than duplicated.
@@ -215,17 +289,44 @@ func (r *Runner) Run(cfg config.Config, bench string) (*stats.Sim, error) {
 	r.mu.Lock()
 	if c, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-r.ctx.Done():
+			return nil, r.ctx.Err()
+		}
+		r.emit(ProgressEvent{Kind: RunDone, Cfg: cfg.Name, Bench: bench, Cached: true, Err: c.err})
 		return c.st, c.err
 	}
 	c := &call{done: make(chan struct{})}
 	r.cache[key] = c
 	r.mu.Unlock()
 
-	r.sem <- struct{}{}
-	c.st, c.err = r.simulate(cfg, bench)
-	<-r.sem
+	// Check the context before the pool: select{} picks randomly when both
+	// a free slot and a cancelled context are ready, and a cancelled runner
+	// must not start new simulations.
+	if err := r.ctx.Err(); err != nil {
+		c.err = err
+	} else {
+		select {
+		case r.sem <- struct{}{}:
+			c.st, c.err = r.simulate(cfg, bench)
+			<-r.sem
+		case <-r.ctx.Done():
+			c.err = r.ctx.Err()
+		}
+	}
+	if c.err != nil && cancelled(c.err) {
+		// A cancelled run must not poison the memo: evict the entry before
+		// waking followers so the next requester (with a live context)
+		// recomputes. Followers already waiting still observe the error.
+		r.mu.Lock()
+		if r.cache[key] == c {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
 	close(c.done)
+	r.emit(ProgressEvent{Kind: RunDone, Cfg: cfg.Name, Bench: bench, Err: c.err})
 	return c.st, c.err
 }
 
@@ -246,19 +347,35 @@ func (r *Runner) usable(tr *trace.Trace, cfg config.Config) bool {
 // sharedTrace returns the bench's trace entry, electing the caller's
 // goroutine as recorder if none exists yet. The second return is true for
 // the leader, which receives an unresolved entry (prog/tr unset) and MUST
-// resolve it via publishTrace. Followers block until the entry resolves.
-func (r *Runner) sharedTrace(bench string) (*traceCall, bool) {
+// resolve it via publishTrace or publishLoadedTrace. Followers block until
+// the entry resolves or the runner's context is cancelled (non-nil error).
+func (r *Runner) sharedTrace(bench string) (*traceCall, bool, error) {
 	r.mu.Lock()
 	tc, ok := r.traces[bench]
 	if !ok {
 		tc = &traceCall{done: make(chan struct{})}
 		r.traces[bench] = tc
 		r.mu.Unlock()
-		return tc, true
+		return tc, true, nil
 	}
 	r.mu.Unlock()
-	<-tc.done
-	return tc, false
+	select {
+	case <-tc.done:
+	case <-r.ctx.Done():
+		return nil, false, r.ctx.Err()
+	}
+	return tc, false, nil
+}
+
+// dropTrace evicts bench's trace entry if it is still tc, so a
+// cancellation-poisoned recording does not stick to the benchmark for
+// every later run. Call before publishing the entry.
+func (r *Runner) dropTrace(bench string, tc *traceCall) {
+	r.mu.Lock()
+	if r.traces[bench] == tc {
+		delete(r.traces, bench)
+	}
+	r.mu.Unlock()
 }
 
 // publishTrace resolves a leader's trace entry and wakes the followers.
@@ -266,7 +383,12 @@ func (r *Runner) sharedTrace(bench string) (*traceCall, bool) {
 // with a nil error would leave followers unable to distinguish "the
 // recording failed" from anything else (the swallowed-error bug this
 // guard pins shut), so such a call is coerced to ErrRecordingUnusable.
-func (r *Runner) publishTrace(tc *traceCall, prog *isa.Program, tr *trace.Trace, err error) {
+// A freshly recorded trace is persisted to Options.Traces, if configured
+// — after the followers are woken: the store's disk tier encodes and
+// writes megabytes, and the in-memory trace is already complete, so the
+// sweep's critical path must not wait out the persistence of an
+// optimisation.
+func (r *Runner) publishTrace(tc *traceCall, bench string, prog *isa.Program, tr *trace.Trace, err error) {
 	if tr == nil && err == nil {
 		err = ErrRecordingUnusable
 	}
@@ -275,6 +397,39 @@ func (r *Runner) publishTrace(tc *traceCall, prog *isa.Program, tr *trace.Trace,
 		r.recorded.Add(1)
 	}
 	close(tc.done)
+	if tr != nil && r.opts.Traces != nil {
+		r.opts.Traces.Store(bench, tr)
+	}
+}
+
+// publishLoadedTrace resolves a leader's trace entry with a recording
+// served by Options.Traces (counted separately from fresh recordings, and
+// not written back to the store).
+func (r *Runner) publishLoadedTrace(tc *traceCall, prog *isa.Program, tr *trace.Trace) {
+	tc.prog, tc.tr = prog, tr
+	r.loaded.Add(1)
+	close(tc.done)
+}
+
+// loadStoredTrace asks Options.Traces for a usable recording of bench: it
+// must cover this runner's record target (or end in a halt) and, for
+// sharded runs, carry checkpoints to fast-forward to. An unusable stored
+// trace is ignored — the leader records afresh.
+func (r *Runner) loadStoredTrace(bench string) (*trace.Trace, bool) {
+	if r.opts.Traces == nil {
+		return nil, false
+	}
+	tr, ok := r.opts.Traces.Load(bench)
+	if !ok || tr == nil {
+		return nil, false
+	}
+	if !tr.Halted() && tr.Len() < r.recordTarget() {
+		return nil, false
+	}
+	if r.opts.Shards > 1 && len(tr.Checkpoints()) == 0 {
+		return nil, false
+	}
+	return tr, true
 }
 
 // buildProgram constructs the benchmark program at the runner's scale and
@@ -294,6 +449,7 @@ func (r *Runner) buildProgram(bench string) (*isa.Program, error) {
 // emulation.
 func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 	r.sims.Add(1)
+	r.emit(ProgressEvent{Kind: RunStarted, Cfg: cfg.Name, Bench: bench, Target: uint64(r.opts.Scale)})
 	if r.opts.NoSharedTraces {
 		prog, err := r.buildProgram(bench)
 		if err != nil {
@@ -304,9 +460,21 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 		})
 	}
 
-	tc, leader := r.sharedTrace(bench)
+	tc, leader, err := r.sharedTrace(bench)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
+	}
 	if leader {
-		if r.opts.Shards > 1 {
+		if tr, ok := r.loadStoredTrace(bench); ok {
+			// A warm store spares both the recording and the functional
+			// emulation; the program is still built for the live-emulation
+			// fallback of configurations the trace cannot feed.
+			if prog, err := r.buildProgram(bench); err != nil {
+				r.publishTrace(tc, bench, nil, nil, err)
+			} else {
+				r.publishLoadedTrace(tc, prog, tr)
+			}
+		} else if r.opts.Shards > 1 {
 			// Sharded mode records with a pure functional pass (embedding
 			// checkpoints) so the leader's own timing run can be sharded
 			// exactly like every follower's; it then falls through to the
@@ -343,32 +511,38 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 func (r *Runner) recordShared(bench string, tc *traceCall) {
 	prog, err := r.buildProgram(bench)
 	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
+		r.publishTrace(tc, bench, nil, nil, err)
 		return
 	}
 	mach, err := emu.New(prog)
 	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
+		r.publishTrace(tc, bench, nil, nil, err)
 		return
 	}
 	rec, err := trace.NewRecorder(mach, prog, 0)
 	if err != nil {
-		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+		r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
 		return
 	}
 	if r.opts.CheckpointEvery > 0 {
 		if err := rec.EnableCheckpoints(r.opts.CheckpointEvery); err != nil {
-			r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+			r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
 			return
 		}
 	}
+	rec.SetContext(r.ctx)
 	rec.Reserve(r.recordTarget())
 	tr, recErr := rec.Finish(r.recordTarget())
 	if recErr != nil {
-		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, recErr))
+		if cancelled(recErr) {
+			// Cancellation is not a property of the benchmark: evict the
+			// entry so a later requester records afresh.
+			r.dropTrace(bench, tc)
+		}
+		r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, recErr))
 		return
 	}
-	r.publishTrace(tc, prog, tr, nil)
+	r.publishTrace(tc, bench, prog, tr, nil)
 }
 
 // recordRun is the leader's simulation: it records the dynamic stream
@@ -378,31 +552,39 @@ func (r *Runner) recordShared(bench string, tc *traceCall) {
 func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*stats.Sim, error) {
 	prog, err := r.buildProgram(bench)
 	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
+		r.publishTrace(tc, bench, nil, nil, err)
 		return nil, err
 	}
 	mach, err := emu.New(prog)
 	if err != nil {
-		r.publishTrace(tc, nil, nil, err)
+		r.publishTrace(tc, bench, nil, nil, err)
 		return nil, err
 	}
 	rec, err := trace.NewRecorder(mach, prog, pipeline.SourceWindow(cfg))
 	if err != nil {
 		// The program is fine; only the recording is lost. Followers fall
 		// back to live emulation while this leader reports the failure.
-		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+		r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
 		return nil, err
 	}
 	if r.opts.CheckpointEvery > 0 {
 		if err := rec.EnableCheckpoints(r.opts.CheckpointEvery); err != nil {
-			r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
+			r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, err))
 			return nil, err
 		}
 	}
+	rec.SetContext(r.ctx)
 	rec.Reserve(r.recordTarget())
 	st, simErr := r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
 		return pipeline.NewFromSource(cfg, rec)
 	})
+	if cancelled(simErr) {
+		// Don't extend a recording nobody will use: evict the entry (so a
+		// later requester records afresh) and publish the cancellation.
+		r.dropTrace(bench, tc)
+		r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, simErr))
+		return st, simErr
+	}
 	// Finish extends the recording to its target length even when the
 	// timing run stopped early (commit limit) or failed (an invalid
 	// configuration must not poison the benchmark for other configs). A
@@ -411,20 +593,40 @@ func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*sta
 	// the entry sees why the recording was dropped.
 	tr, recErr := rec.Finish(r.recordTarget())
 	if recErr != nil {
-		r.publishTrace(tc, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, recErr))
+		if cancelled(recErr) {
+			r.dropTrace(bench, tc)
+		}
+		r.publishTrace(tc, bench, prog, nil, fmt.Errorf("%w: %v", ErrRecordingUnusable, recErr))
 	} else {
-		r.publishTrace(tc, prog, tr, nil)
+		r.publishTrace(tc, bench, prog, tr, nil)
 	}
 	return st, simErr
 }
 
-// timedRun executes one timing simulation built by mk.
+// progressStride is the committed-instruction spacing of RunProgress
+// events: coarse enough to stay off the cycle loop's hot path, fine
+// enough that a streaming client sees motion.
+func (r *Runner) progressStride() uint64 {
+	return uint64(max(r.opts.Scale/8, 4096))
+}
+
+// timedRun executes one timing simulation built by mk, wired to the
+// runner's context and progress observation.
 func (r *Runner) timedRun(cfg config.Config, bench string, mk func() (*pipeline.Simulator, error)) (*stats.Sim, error) {
 	sim, err := mk()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
 	}
+	sim.SetContext(r.ctx)
+	if r.opts.Progress != nil {
+		target := uint64(r.opts.Scale)
+		sim.SetProgress(r.progressStride(), func(committed uint64) {
+			r.emit(ProgressEvent{Kind: RunProgress, Cfg: cfg.Name, Bench: bench,
+				Committed: committed, Target: target})
+		})
+	}
 	st, err := sim.Run(uint64(r.opts.Scale))
+	r.collectHot(sim.HotStats())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
 	}
@@ -460,9 +662,9 @@ func (r *Runner) RunAll(specs []RunSpec) ([]*stats.Sim, error) {
 // goroutines that pull specs from a shared cursor, so a large sweep does
 // not spawn one goroutine per spec ahead of the semaphore. Errors are not
 // reported here; they resurface from the memo when Run or RunAll later
-// requests the same key. There is no cancellation: if the consumer aborts
-// early, already-submitted runs finish in the background (and stay
-// memoised for the next request).
+// requests the same key. Cancelling the runner's context stops the
+// feeders from starting further specs; runs already executing abort
+// through their own context polling.
 func (r *Runner) Prefetch(specs []RunSpec) {
 	if len(specs) == 0 {
 		return
@@ -471,7 +673,7 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	next := new(atomic.Int64)
 	for n := min(len(specs), r.opts.Workers); n > 0; n-- {
 		go func() {
-			for {
+			for r.ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(specs) {
 					return
@@ -495,7 +697,12 @@ func (r *Runner) each(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r.sem <- struct{}{}
+			select {
+			case r.sem <- struct{}{}:
+			case <-r.ctx.Done():
+				errs[i] = r.ctx.Err()
+				return
+			}
 			defer func() { <-r.sem }()
 			errs[i] = fn(i)
 		}(i)

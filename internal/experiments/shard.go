@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"specvec/internal/config"
 	"specvec/internal/pipeline"
+	"specvec/internal/profile"
 	"specvec/internal/stats"
 	"specvec/internal/trace"
 )
@@ -77,32 +80,57 @@ func shardPlan(tr *trace.Trace, total uint64, shards int, warmup uint64) []shard
 	return plan
 }
 
-// runShard executes one interval of the plan.
-func runShard(cfg config.Config, tr *trace.Trace, sp shardSpec) (*stats.Sim, error) {
+// runShard executes one interval of the plan. A non-nil ctx cancels the
+// interval (service-layer jobs); a non-nil hot callback receives the
+// shard simulator's hot-path counters.
+func runShard(ctx context.Context, cfg config.Config, tr *trace.Trace, sp shardSpec, hot func(profile.HotStats)) (*stats.Sim, error) {
 	rep := trace.NewReplayerAt(tr, pipeline.SourceWindow(cfg), sp.replayFrom)
 	sim, err := pipeline.NewFromSource(cfg, rep)
 	if err != nil {
 		return nil, err
 	}
+	if ctx != nil {
+		sim.SetContext(ctx)
+	}
 	if sp.seedBHR {
 		sim.SeedBranchHistory(sp.bhr)
 	}
-	return sim.RunInterval(sp.warmup, sp.measure)
+	st, err := sim.RunInterval(sp.warmup, sp.measure)
+	if hot != nil {
+		hot(sim.HotStats())
+	}
+	return st, err
 }
 
 // runShards executes a plan concurrently — one worker-pool slot per
 // in-flight shard — and merges the interval statistics in shard order.
-func runShards(cfg config.Config, tr *trace.Trace, plan []shardSpec, sem chan struct{}) (*stats.Sim, error) {
+// onDone (optional) observes each finished interval with the count of
+// completed intervals so far; it may be called concurrently.
+func runShards(ctx context.Context, cfg config.Config, tr *trace.Trace, plan []shardSpec,
+	sem chan struct{}, hot func(profile.HotStats), onDone func(done, total int)) (*stats.Sim, error) {
 	results := make([]*stats.Sim, len(plan))
 	errs := make([]error, len(plan))
 	var wg sync.WaitGroup
+	var finished atomic.Int32
 	for i, sp := range plan {
 		wg.Add(1)
 		go func(i int, sp shardSpec) {
 			defer wg.Done()
-			sem <- struct{}{}
+			if ctx != nil {
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					return
+				}
+			} else {
+				sem <- struct{}{}
+			}
 			defer func() { <-sem }()
-			results[i], errs[i] = runShard(cfg, tr, sp)
+			results[i], errs[i] = runShard(ctx, cfg, tr, sp, hot)
+			if errs[i] == nil && onDone != nil {
+				onDone(int(finished.Add(1)), len(plan))
+			}
 		}(i, sp)
 	}
 	wg.Wait()
@@ -128,8 +156,15 @@ func runShards(cfg config.Config, tr *trace.Trace, plan []shardSpec, sem chan st
 // exceeds Workers.
 func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace) (*stats.Sim, error) {
 	plan := shardPlan(tr, uint64(r.opts.Scale), r.opts.Shards, uint64(r.opts.ShardWarmup))
+	var onDone func(done, total int)
+	if r.opts.Progress != nil {
+		onDone = func(done, total int) {
+			r.emit(ProgressEvent{Kind: ShardDone, Cfg: cfg.Name, Bench: bench,
+				Shard: done, Shards: total})
+		}
+	}
 	<-r.sem
-	st, err := runShards(cfg, tr, plan, r.sem)
+	st, err := runShards(r.ctx, cfg, tr, plan, r.sem, r.collectHot, onDone)
 	r.sem <- struct{}{}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
@@ -159,5 +194,6 @@ func ShardedReplay(cfg config.Config, tr *trace.Trace, total uint64, shards, war
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return runShards(cfg, tr, shardPlan(tr, total, shards, uint64(warmup)), make(chan struct{}, workers))
+	return runShards(nil, cfg, tr, shardPlan(tr, total, shards, uint64(warmup)),
+		make(chan struct{}, workers), nil, nil)
 }

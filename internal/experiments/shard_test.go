@@ -165,7 +165,7 @@ func TestPublishTraceNeverNilNil(t *testing.T) {
 	r := NewRunner(Options{Scale: 5_000, Seed: 1, Workers: 1})
 	prog := &isa.Program{Name: "stub", Insts: []isa.Inst{{Op: isa.OpHalt}}}
 	tc := &traceCall{done: make(chan struct{})}
-	r.publishTrace(tc, prog, nil, nil)
+	r.publishTrace(tc, "stub", prog, nil, nil)
 	<-tc.done
 	if !errors.Is(tc.err, ErrRecordingUnusable) {
 		t.Errorf("nil-trace/nil-error publish resolved with err=%v, want ErrRecordingUnusable", tc.err)
@@ -192,7 +192,7 @@ func TestRecordingFailureFallsBack(t *testing.T) {
 
 	seeded := NewRunner(opts)
 	tc := &traceCall{done: make(chan struct{})}
-	seeded.publishTrace(tc, prog, nil, ErrRecordingUnusable)
+	seeded.publishTrace(tc, bench, prog, nil, ErrRecordingUnusable)
 	seeded.traces[bench] = tc
 
 	st, err := seeded.Run(cfg, bench)

@@ -14,9 +14,20 @@ import (
 // ErrRecordingUnusable, never a silent nil — and callers fall back to
 // live emulation of tc.prog.
 func (r *Runner) functionalTrace(bench string) (*traceCall, error) {
-	tc, leader := r.sharedTrace(bench)
+	tc, leader, err := r.sharedTrace(bench)
+	if err != nil {
+		return nil, err
+	}
 	if leader {
-		r.recordShared(bench, tc)
+		if tr, ok := r.loadStoredTrace(bench); ok {
+			if prog, err := r.buildProgram(bench); err != nil {
+				r.publishTrace(tc, bench, nil, nil, err)
+			} else {
+				r.publishLoadedTrace(tc, prog, tr)
+			}
+		} else {
+			r.recordShared(bench, tc)
+		}
 	}
 	if tc.prog == nil {
 		return tc, tc.err

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"specvec/internal/branch"
@@ -126,6 +127,15 @@ type Simulator struct {
 	postMispredict int
 
 	lastCommitCycle uint64
+
+	// Service-layer observation hooks (SetContext/SetProgress). Neither
+	// influences simulation results: the context is only polled, and
+	// progress fires outside the per-cycle state machine.
+	ctx           context.Context
+	ctxCountdown  int
+	progressEvery uint64
+	nextProgress  uint64
+	progressFn    func(committed uint64)
 }
 
 // mergeEntry is one outstanding wide-bus line access that later loads of
@@ -291,6 +301,28 @@ func (s *Simulator) HotStats() profile.HotStats {
 	}
 }
 
+// SetContext attaches ctx to the simulator: Run/RunInterval return ctx's
+// error shortly after it is cancelled, so an abandoned run stops burning
+// its worker instead of simulating to the commit limit. The context is
+// polled every few thousand cycles (cancellation latency is microseconds,
+// cost on the cycle loop is unmeasurable) and never alters statistics — a
+// run that completes before cancellation is byte-identical to one without
+// a context. A nil context (the default) never cancels.
+func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// SetProgress registers fn to be invoked — on the simulating goroutine —
+// each time the committed-instruction count crosses a multiple of every.
+// The scheduler layer uses it to stream per-interval completion; fn must
+// not call back into the simulator. every == 0 or fn == nil disables
+// reporting.
+func (s *Simulator) SetProgress(every uint64, fn func(committed uint64)) {
+	if every == 0 || fn == nil {
+		s.progressFn = nil
+		return
+	}
+	s.progressEvery, s.progressFn, s.nextProgress = every, fn, every
+}
+
 // SeedBranchHistory sets the predictor's global outcome history.
 // Checkpointed fast-forward (internal/experiments sharded runs) seeds it
 // with the history recorded at the checkpoint boundary, so the warmup
@@ -337,11 +369,26 @@ func (s *Simulator) RunInterval(warmup, measure uint64) (*stats.Sim, error) {
 // have committed, erroring if the pipeline deadlocks.
 func (s *Simulator) runUntil(target uint64) error {
 	const stallGuard = 200_000 // cycles without a commit = deadlock
+	const ctxPoll = 4096       // cycles between context cancellation checks
 	for !s.halted && s.sim.Committed < target {
 		s.step()
 		if s.cycle-s.lastCommitCycle > stallGuard {
 			return fmt.Errorf("pipeline: no commit in %d cycles at cycle %d (%s)",
 				stallGuard, s.cycle, s.cfg.Name)
+		}
+		if s.progressFn != nil && s.sim.Committed >= s.nextProgress {
+			s.progressFn(s.sim.Committed)
+			for s.nextProgress <= s.sim.Committed {
+				s.nextProgress += s.progressEvery
+			}
+		}
+		if s.ctxCountdown--; s.ctxCountdown <= 0 {
+			s.ctxCountdown = ctxPoll
+			if s.ctx != nil {
+				if err := s.ctx.Err(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -19,6 +19,17 @@ type HotStats struct {
 	JournalDepth uint64 // live undo records (bounded by the in-flight window)
 }
 
+// Add folds another snapshot's counters into h (aggregation across
+// simulators). JournalDepth is point-in-time state, not a rate, so it is
+// not summed: aggregates report it as zero.
+func (h *HotStats) Add(o HotStats) {
+	h.UopNews += o.UopNews
+	h.UopRecycles += o.UopRecycles
+	h.VopNews += o.VopNews
+	h.VopRecycles += o.VopRecycles
+	h.JournalDepth = 0
+}
+
 // Sub returns the change from an earlier snapshot.
 func (h HotStats) Sub(prev HotStats) HotStats {
 	return HotStats{
@@ -27,6 +38,33 @@ func (h HotStats) Sub(prev HotStats) HotStats {
 		VopNews:      h.VopNews - prev.VopNews,
 		VopRecycles:  h.VopRecycles - prev.VopRecycles,
 		JournalDepth: h.JournalDepth,
+	}
+}
+
+// Runtime is a snapshot of process-wide health gauges, read by the
+// service layer's /metrics endpoint.
+type Runtime struct {
+	Goroutines      int
+	HeapAllocBytes  uint64
+	TotalAllocBytes uint64
+	Mallocs         uint64
+	Frees           uint64
+	NumGC           uint32
+}
+
+// ReadRuntime samples the current process gauges (without forcing a GC —
+// this is a monitoring probe, not a measurement barrier like
+// MeasureAllocs).
+func ReadRuntime() Runtime {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return Runtime{
+		Goroutines:      runtime.NumGoroutine(),
+		HeapAllocBytes:  m.HeapAlloc,
+		TotalAllocBytes: m.TotalAlloc,
+		Mallocs:         m.Mallocs,
+		Frees:           m.Frees,
+		NumGC:           m.NumGC,
 	}
 }
 

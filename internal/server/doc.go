@@ -1,0 +1,50 @@
+// Package server is the simulation service behind cmd/sdvd: a
+// long-running daemon that executes simulation and experiment specs on a
+// bounded job scheduler, caches results by content address and streams
+// progress to clients.
+//
+// # API surface
+//
+//	POST   /v1/jobs              submit a JobSpec (?wait=1 blocks until resolved)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status + result when done
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/jobs/{id}/events  SSE progress stream (history replay + live)
+//	GET    /v1/experiments       experiment ids and titles (sdvexp -list)
+//	GET    /v1/workloads         benchmark suite
+//	GET    /v1/configs           configuration matrix
+//	GET    /healthz              liveness + uptime
+//	GET    /metrics              Prometheus-style counters and gauges
+//
+// # Exactness
+//
+// A job executes on the same experiments.Runner machinery as the batch
+// CLIs, with the same normalized defaults, so a served result is
+// byte-identical to a local run of the same spec (the CI server smoke job
+// diffs `sdvexp -server` against local `sdvexp`). The cache key is a
+// SHA-256 over the canonical spec plus the module version and result
+// schema, so nothing built from different code or shapes is ever served
+// as equal.
+//
+// # Caching and deduplication
+//
+// Results live in an in-memory LRU bounded by entries and bytes, with
+// optional disk persistence (Options.CacheDir) that survives restarts.
+// Identical in-flight specs are deduplicated (singleflight): concurrent
+// submissions of the same work simulate once and share the outcome.
+// Recorded benchmark traces are kept in a separate artifact store scoped
+// by (scale, seed, checkpoint spacing), so later jobs replay instead of
+// re-recording even when their result key differs (e.g. a different
+// experiment over the same workloads).
+//
+// # Cancellation
+//
+// Every job owns a context. DELETE cancels it; a synchronous (?wait=1)
+// submission is additionally tied to its HTTP request, so an abandoned
+// request stops burning workers: the context is plumbed through
+// experiments.Runner into the cycle loop of every in-flight simulation
+// (pipeline.Simulator.SetContext) and into trace recording
+// (trace.Recorder.SetContext). Cancelled runs are evicted from the
+// runner memo and the cache singleflight, never poisoning later
+// requests.
+package server

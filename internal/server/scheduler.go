@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specvec/internal/experiments"
+	"specvec/internal/profile"
+)
+
+// ErrQueueFull rejects submissions when the bounded job queue is at
+// capacity; clients should retry with backoff (the HTTP layer maps it to
+// 503 + Retry-After).
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShutdown rejects submissions after Close.
+var ErrShutdown = errors.New("server: shutting down")
+
+// scheduler owns the bounded job queue and the worker pool that drains
+// it. Each job executes on its own experiments.Runner (bounded to
+// SimWorkers concurrent simulations) with its own cancellable context;
+// results flow through the content-addressed cache, so identical specs —
+// concurrent or repeated — simulate at most once.
+type scheduler struct {
+	cache   *Cache
+	traces  *traceCache
+	workers int // per-job simulation workers
+	history int // terminal jobs retained in the registry
+	logf    func(format string, args ...any)
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool // set by Close under mu; rejects further submissions
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	seq    int64
+
+	submitted, completed, failed, cancelled atomic.Int64
+	running                                 atomic.Int64
+
+	// Runner counters aggregated across every job.
+	sims, recorded, replayed, traceLoads atomic.Int64
+	hotMu                                sync.Mutex
+	hot                                  profile.HotStats
+}
+
+func newScheduler(jobWorkers, queueDepth, simWorkers, history int, cache *Cache, traces *traceCache, logf func(string, ...any)) *scheduler {
+	if jobWorkers <= 0 {
+		jobWorkers = 2
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	if simWorkers <= 0 {
+		simWorkers = runtime.GOMAXPROCS(0)
+	}
+	if history <= 0 {
+		history = 512
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &scheduler{
+		cache:   cache,
+		traces:  traces,
+		workers: simWorkers,
+		history: history,
+		logf:    logf,
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *Job, queueDepth),
+		jobs:    map[string]*Job{},
+	}
+	for i := 0; i < jobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers. Queued jobs resolve as cancelled; the running
+// ones abort through their contexts. The closed flag is flipped under
+// the same mutex Submit enqueues under, and the queue is drained again
+// after the workers exit, so no job can slip in unresolved — a ?wait=1
+// client never blocks on a job nobody will run.
+func (s *scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+	for {
+		select {
+		case job := <-s.queue:
+			job.finish(nil, SourceComputed, ErrShutdown, true)
+		default:
+			return
+		}
+	}
+}
+
+// Submit queues a normalized spec. tied, when non-nil, is a request
+// context the job is additionally bound to (an abandoned synchronous
+// request cancels its job). Returns ErrQueueFull when the queue is at
+// capacity.
+func (s *scheduler) Submit(spec JobSpec, tied context.Context) (*Job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	job := newJob(id, spec, spec.Key())
+	job.tied = tied
+	// The job's context exists from submission so cancelling a queued job
+	// works; the worker that eventually picks it up observes the
+	// already-cancelled context and resolves it without simulating.
+	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
+	// Enqueue under the mutex: the send never blocks (bounded channel,
+	// non-blocking select) and holding mu here is what makes Close's
+	// closed-then-drain sequence airtight.
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		job.cancel() // release the context before dropping the job
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	s.logf("job %s queued: %s (key %.12s…)", id, spec.Title(), job.Key)
+	return job, nil
+}
+
+// Job returns a job by id.
+func (s *scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job in submission order.
+func (s *scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *scheduler) QueueDepth() int { return len(s.queue) }
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case job := <-s.queue:
+			s.run(job)
+		case <-s.baseCtx.Done():
+			// Drain whatever is left so queued jobs resolve instead of
+			// dangling.
+			for {
+				select {
+				case job := <-s.queue:
+					job.finish(nil, SourceComputed, ErrShutdown, true)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one job to a terminal state.
+func (s *scheduler) run(job *Job) {
+	ctx := job.ctx
+	defer job.cancel()
+	if job.tied != nil {
+		// A job submitted synchronously dies with its request: when the
+		// client abandons the wait, the simulations stop burning workers.
+		stop := context.AfterFunc(job.tied, job.cancel)
+		defer stop()
+	}
+
+	job.setRunning()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	val, src, err := s.cache.GetOrCompute(ctx, job.Key, func() ([]byte, error) {
+		return s.compute(ctx, job)
+	})
+	cancelledErr := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		s.logf("job %s %s (%s, %d bytes)", job.ID, StateDone, src, len(val))
+	case cancelledErr:
+		s.cancelled.Add(1)
+		s.logf("job %s cancelled", job.ID)
+	default:
+		s.failed.Add(1)
+		s.logf("job %s failed: %v", job.ID, err)
+	}
+	job.finish(val, src, err, cancelledErr)
+	s.prune()
+}
+
+// prune evicts the oldest terminal jobs past the retention bound, so a
+// long-running daemon's registry — jobs carry their result bytes and
+// event history — stays bounded by history + queue depth + workers
+// (queued and running jobs are never evicted). Evicted job ids answer
+// 404; their results remain reachable through the content-addressed
+// cache by resubmitting the spec.
+func (s *scheduler) prune() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.history {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.history && s.jobs[id].State().Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// compute runs the spec on a fresh Runner and encodes the Result. The
+// runner's counters fold into the scheduler aggregates even on failure.
+func (s *scheduler) compute(ctx context.Context, job *Job) ([]byte, error) {
+	spec := job.Spec
+	opts := experiments.Options{
+		Scale:           spec.Scale,
+		Seed:            spec.Seed,
+		Workers:         s.workers,
+		Shards:          spec.Shards,
+		CheckpointEvery: spec.CheckpointEvery,
+		Context:         ctx,
+		Progress:        job.progressHook,
+	}.WithDefaults()
+	if s.traces != nil {
+		opts.Traces = s.traces.forOptions(opts)
+	}
+	runner := experiments.NewRunner(opts)
+	defer s.collect(runner)
+
+	res := Result{Spec: spec}
+	switch spec.Kind {
+	case KindExperiment:
+		exp, err := experiments.Get(spec.Exp)
+		if err != nil {
+			return nil, err
+		}
+		tables, err := exp.Run(runner)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = tables
+	case KindSim:
+		cfg, err := configByName(spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runner.Run(cfg, spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = st
+	default:
+		return nil, fmt.Errorf("server: unknown spec kind %q", spec.Kind)
+	}
+	return json.Marshal(res)
+}
+
+// collect folds a finished runner's counters into the scheduler
+// aggregates (served at /metrics).
+func (s *scheduler) collect(r *experiments.Runner) {
+	s.sims.Add(r.Simulations())
+	s.recorded.Add(r.TraceRecordings())
+	s.replayed.Add(r.TraceReplays())
+	s.traceLoads.Add(r.TraceLoads())
+	s.hotMu.Lock()
+	s.hot.Add(r.HotStats())
+	s.hotMu.Unlock()
+}
+
+// hotStats returns the aggregated pipeline pool counters.
+func (s *scheduler) hotStats() profile.HotStats {
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	return s.hot
+}

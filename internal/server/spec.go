@@ -1,0 +1,194 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"specvec/internal/config"
+	"specvec/internal/experiments"
+	"specvec/internal/stats"
+	"specvec/internal/workload"
+)
+
+// resultSchema versions the Result encoding itself. Bump it when the JSON
+// shape of Result/Table/stats.Sim changes incompatibly: the version is
+// hashed into every cache key, so persisted entries from an older schema
+// miss instead of decoding wrongly.
+const resultSchema = 1
+
+// JobSpec names one unit of servable work: either a full experiment (the
+// sdvexp figures/tables) or a single (workload, configuration)
+// simulation. The zero values of Scale/Seed/Shards resolve to the same
+// defaults the batch CLIs use, so a spec submitted with and without
+// explicit defaults is the same cache entry.
+type JobSpec struct {
+	// Kind is "experiment" or "sim". Empty is inferred: Exp set implies
+	// "experiment", Workload set implies "sim".
+	Kind string `json:"kind"`
+	// Exp is the experiment id (see GET /v1/experiments). "all" is not
+	// accepted server-side: clients submit one job per experiment so each
+	// figure is cached — and invalidated — independently.
+	Exp string `json:"exp,omitempty"`
+	// Workload and Config select a single simulation (sim kind), by
+	// benchmark name and paper-style configuration name.
+	Workload string `json:"workload,omitempty"`
+	Config   string `json:"config,omitempty"`
+	// Scale, Seed, Shards and CheckpointEvery mirror the sdvexp flags of
+	// the same names and participate in the cache key: changing any of
+	// them is a different result.
+	Scale           int   `json:"scale,omitempty"`
+	Seed            int64 `json:"seed,omitempty"`
+	Shards          int   `json:"shards,omitempty"`
+	CheckpointEvery int   `json:"ckptEvery,omitempty"`
+}
+
+const (
+	KindExperiment = "experiment"
+	KindSim        = "sim"
+)
+
+// Normalize validates s and resolves every default, returning the
+// canonical form used for keying and execution. Two specs that normalize
+// equal are the same content-addressed result.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	switch {
+	case s.Kind == "" && s.Exp != "" && s.Workload == "":
+		s.Kind = KindExperiment
+	case s.Kind == "" && s.Workload != "" && s.Exp == "":
+		s.Kind = KindSim
+	}
+	switch s.Kind {
+	case KindExperiment:
+		if s.Workload != "" || s.Config != "" {
+			return s, fmt.Errorf("experiment spec must not set workload/config")
+		}
+		if s.Exp == "all" {
+			return s, fmt.Errorf("exp %q is client-side sugar: submit one job per experiment id", s.Exp)
+		}
+		if _, err := experiments.Get(s.Exp); err != nil {
+			return s, err
+		}
+	case KindSim:
+		if s.Exp != "" {
+			return s, fmt.Errorf("sim spec must not set exp")
+		}
+		if _, err := workload.Get(s.Workload); err != nil {
+			return s, err
+		}
+		if s.Config == "" {
+			s.Config = "4w-1pV"
+		}
+		if _, err := configByName(s.Config); err != nil {
+			return s, err
+		}
+	default:
+		return s, fmt.Errorf("spec needs exactly one of exp (experiment) or workload (sim)")
+	}
+	if s.Scale == 0 {
+		s.Scale = experiments.DefaultOptions().Scale
+	}
+	if s.Scale <= 0 {
+		return s, fmt.Errorf("invalid scale %d: want > 0", s.Scale)
+	}
+	if s.Seed == 0 {
+		s.Seed = experiments.DefaultOptions().Seed
+	}
+	if s.Shards == 0 {
+		s.Shards = 1
+	}
+	if s.Shards < 1 {
+		return s, fmt.Errorf("invalid shards %d: want >= 1", s.Shards)
+	}
+	if s.CheckpointEvery < 0 {
+		return s, fmt.Errorf("invalid ckptEvery %d: want >= 0", s.CheckpointEvery)
+	}
+	// Resolve the sharded-mode auto checkpoint spacing exactly the way the
+	// Runner will (experiments.Options.WithDefaults), so an omitted and an
+	// explicitly-default ckptEvery are the same cache entry.
+	s.CheckpointEvery = experiments.Options{
+		Shards: s.Shards, CheckpointEvery: s.CheckpointEvery,
+	}.WithDefaults().CheckpointEvery
+	return s, nil
+}
+
+// Key returns the spec's content address: a hex SHA-256 over the
+// canonical JSON of the normalized spec, the module version (a daemon
+// built from different code is a different result space) and the result
+// schema version. Worker counts and other execution-shape knobs are
+// deliberately absent — results are byte-identical regardless of
+// parallelism, so they would only fragment the cache.
+func (s JobSpec) Key() string {
+	canon, err := json.Marshal(s)
+	if err != nil {
+		// JobSpec is plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("server: marshalling JobSpec: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "specvec/%d\x00%s\x00", resultSchema, moduleVersion())
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Title renders the spec for logs and job listings.
+func (s JobSpec) Title() string {
+	if s.Kind == KindSim {
+		return fmt.Sprintf("sim %s on %s (scale %d, seed %d, shards %d)",
+			s.Workload, s.Config, s.Scale, s.Seed, s.Shards)
+	}
+	return fmt.Sprintf("experiment %s (scale %d, seed %d, shards %d)",
+		s.Exp, s.Scale, s.Seed, s.Shards)
+}
+
+// Result is the servable outcome of a job: rendered-table inputs for
+// experiments, raw statistics for single simulations. Encoded with the
+// stable stats.Sim JSON and cached by the spec's content address.
+type Result struct {
+	Spec   JobSpec              `json:"spec"`
+	Tables []*experiments.Table `json:"tables,omitempty"`
+	Stats  *stats.Sim           `json:"stats,omitempty"`
+}
+
+// configByName resolves a paper-style configuration name.
+func configByName(name string) (config.Config, error) {
+	for _, c := range config.Matrix() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return config.Config{}, fmt.Errorf("unknown config %q (see GET /v1/configs)", name)
+}
+
+var (
+	moduleOnce sync.Once
+	moduleVer  string
+)
+
+// moduleVersion identifies the running build for cache keying: module
+// version and sum when built from a module, VCS revision when embedded,
+// "devel" otherwise. vcs.modified and vcs.time are included so a dirty
+// build does not share cache entries with the clean build of the same
+// commit (it would serve that build's persisted results as current).
+// Two successive dirty builds still collide — development against a
+// persistent -cache-dir should use a scratch directory.
+func moduleVersion() string {
+	moduleOnce.Do(func() {
+		moduleVer = "devel"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		v := bi.Main.Version + "+" + bi.Main.Sum
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.modified", "vcs.time":
+				v += "+" + s.Key + "=" + s.Value
+			}
+		}
+		moduleVer = v
+	})
+	return moduleVer
+}

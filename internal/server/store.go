@@ -1,0 +1,141 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"specvec/internal/experiments"
+	"specvec/internal/trace"
+)
+
+// traceCache holds decoded benchmark recordings across jobs: an LRU
+// bounded by entry count (recordings are the big artifacts — SizeBytes of
+// a full-scale trace runs to megabytes) with optional disk persistence of
+// the encoded form. Entries are keyed by benchmark plus the effective
+// (scale, seed, checkpoint spacing) scope, so a runner never sees a
+// recording made under different options (the experiments.TraceStore
+// contract). One traceCache serves every scope; scopedTraces is the
+// per-job view handed to a Runner.
+type traceCache struct {
+	maxEntries int
+	dir        string // "" = memory only
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	loads, diskLoads, stores, evictions atomic.Int64
+}
+
+type traceEntry struct {
+	key string
+	tr  *trace.Trace
+}
+
+func newTraceCache(maxEntries int, dir string) *traceCache {
+	if maxEntries <= 0 {
+		maxEntries = 16
+	}
+	return &traceCache{
+		maxEntries: maxEntries,
+		dir:        dir,
+		entries:    map[string]*list.Element{},
+		order:      list.New(),
+	}
+}
+
+func (tc *traceCache) lookup(key string) (*trace.Trace, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	el, ok := tc.entries[key]
+	if !ok {
+		return nil, false
+	}
+	tc.order.MoveToFront(el)
+	return el.Value.(*traceEntry).tr, true
+}
+
+func (tc *traceCache) put(key string, tr *trace.Trace) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if el, ok := tc.entries[key]; ok {
+		el.Value.(*traceEntry).tr = tr
+		tc.order.MoveToFront(el)
+		return
+	}
+	tc.entries[key] = tc.order.PushFront(&traceEntry{key: key, tr: tr})
+	for tc.order.Len() > tc.maxEntries {
+		tail := tc.order.Back()
+		e := tail.Value.(*traceEntry)
+		tc.order.Remove(tail)
+		delete(tc.entries, e.key)
+		tc.evictions.Add(1)
+	}
+}
+
+func (tc *traceCache) diskPath(key string) string {
+	return filepath.Join(tc.dir, "traces", key+".sdvt")
+}
+
+// scope renders the option triple a recording is only valid under.
+func traceScope(o experiments.Options) string {
+	return fmt.Sprintf("s%d-d%d-c%d", o.Scale, o.Seed, o.CheckpointEvery)
+}
+
+// scopedTraces is the experiments.TraceStore view of a traceCache for one
+// effective option set.
+type scopedTraces struct {
+	tc    *traceCache
+	scope string
+}
+
+// forOptions returns the store view a Runner built with o may use. o must
+// already have its defaults resolved (Options.WithDefaults) so the scope
+// reflects the effective checkpoint spacing.
+func (tc *traceCache) forOptions(o experiments.Options) experiments.TraceStore {
+	return scopedTraces{tc: tc, scope: traceScope(o)}
+}
+
+// Load implements experiments.TraceStore: memory first, then the disk
+// tier (promoting a disk hit to memory).
+func (s scopedTraces) Load(bench string) (*trace.Trace, bool) {
+	key := bench + "-" + s.scope
+	if tr, ok := s.tc.lookup(key); ok {
+		s.tc.loads.Add(1)
+		return tr, true
+	}
+	if s.tc.dir == "" {
+		return nil, false
+	}
+	tr, err := trace.ReadFile(s.tc.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	s.tc.diskLoads.Add(1)
+	s.tc.put(key, tr)
+	return tr, true
+}
+
+// Store implements experiments.TraceStore, best effort on the disk tier.
+func (s scopedTraces) Store(bench string, tr *trace.Trace) {
+	key := bench + "-" + s.scope
+	s.tc.put(key, tr)
+	s.tc.stores.Add(1)
+	if s.tc.dir == "" {
+		return
+	}
+	path := s.tc.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := tr.WriteFile(tmp); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fillDistinct sets every Sim field to a distinct non-zero value so a
+// round-trip that drops or swaps any field is caught.
+func fillDistinct(t *testing.T) *Sim {
+	t.Helper()
+	s := New()
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(1000 + i))
+		case reflect.Pointer:
+			h := &Histogram{Buckets: make([]uint64, 3+i%3), Overflow: uint64(7 + i)}
+			for j := range h.Buckets {
+				h.Buckets[j] = uint64(100*i + j + 1)
+			}
+			f.Set(reflect.ValueOf(h))
+		default:
+			t.Fatalf("Sim field %s has kind %s; extend fillDistinct", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return s
+}
+
+func TestSimJSONRoundTrip(t *testing.T) {
+	s := fillDistinct(t)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Sim
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(s, &got) {
+		t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", s, &got)
+	}
+}
+
+// TestSimJSONStable asserts the encoding is deterministic and follows
+// struct declaration order, so cached and freshly computed results are
+// byte-comparable.
+func TestSimJSONStable(t *testing.T) {
+	s := fillDistinct(t)
+	a, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := json.Marshal(s.Clone())
+	if err != nil {
+		t.Fatalf("marshal clone: %v", err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("encoding not stable:\n%s\n%s", a, b)
+	}
+	typ := reflect.TypeOf(Sim{})
+	want := -1
+	for i := 0; i < typ.NumField(); i++ {
+		at := strings.Index(string(a), `"`+typ.Field(i).Name+`":`)
+		if at < 0 {
+			t.Fatalf("field %s missing from encoding", typ.Field(i).Name)
+		}
+		if at < want {
+			t.Fatalf("field %s out of declaration order", typ.Field(i).Name)
+		}
+		want = at
+	}
+}
+
+func TestSimJSONUnknownField(t *testing.T) {
+	var s Sim
+	err := json.Unmarshal([]byte(`{"Cycles":1,"NotACounter":2}`), &s)
+	if err == nil || !strings.Contains(err.Error(), "NotACounter") {
+		t.Fatalf("want unknown-field error naming NotACounter, got %v", err)
+	}
+}
+
+func TestSimJSONMissingFieldsZero(t *testing.T) {
+	var s Sim
+	if err := json.Unmarshal([]byte(`{"Cycles":42}`), &s); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if s.Cycles != 42 || s.Committed != 0 || s.StrideHist != nil {
+		t.Fatalf("missing fields not zero: %+v", s)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := &Histogram{Buckets: []uint64{1, 2, 3}, Overflow: 9}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(h, &got) {
+		t.Fatalf("round trip diverged: %+v vs %+v", h, &got)
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,7 +35,16 @@ type Recorder struct {
 
 	every uint64 // checkpoint interval in records (0 = no checkpoints)
 	bhr   uint64 // rolling conditional-branch outcome history
+
+	ctx context.Context // polled by Finish; nil never cancels
 }
+
+// SetContext attaches ctx to the recorder: Finish polls it every few
+// thousand records and returns its error early, so an abandoned service
+// job does not emulate a long program to its record target. A cancelled
+// Finish leaves the trace unusable (the error says why); the recording
+// simulation itself is cancelled through the pipeline's own context.
+func (r *Recorder) SetContext(ctx context.Context) { r.ctx = ctx }
 
 // NewRecorder wraps m, which must be freshly constructed (no instructions
 // executed), with a replay window of n records (emu.DefaultWindow if
@@ -185,8 +195,18 @@ func (r *Recorder) Rewind(seq uint64) {
 // a trace can feed a simulation. The error is non-nil only when the
 // recording is unusable outright (an unrecordable PC was produced).
 func (r *Recorder) Finish(target int) (*Trace, error) {
+	const ctxPoll = 4096 // records between context cancellation checks
+	poll := ctxPoll
 	for !r.t.Halted() && r.t.Len() < target {
 		r.produce()
+		if poll--; poll <= 0 {
+			poll = ctxPoll
+			if r.ctx != nil {
+				if err := r.ctx.Err(); err != nil {
+					return r.t, err
+				}
+			}
+		}
 	}
 	r.t.truncated = !r.t.Halted()
 	if r.err != nil {
