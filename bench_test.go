@@ -155,12 +155,9 @@ func BenchmarkRunnerSequential(b *testing.B) { runnerFanout(b, 1) }
 // ratio to BenchmarkRunnerSequential is the worker-pool speedup.
 func BenchmarkRunnerParallel(b *testing.B) { runnerFanout(b, runtime.GOMAXPROCS(0)) }
 
-// sweepBench is the shared body of the trace-sharing benchmarks: one cold
-// Runner per iteration executing a 6-config × 12-benchmark sweep (the
-// Figure 11/12 shape), so SweepLiveStream vs SweepSharedTrace isolates
-// the record-once/replay-many layer.
-func sweepBench(b *testing.B, noShare bool) {
-	b.Helper()
+// fig11Specs is the 6-config × 12-benchmark sweep (the Figure 11/12
+// shape) shared by the sweep benchmarks.
+func fig11Specs() []experiments.RunSpec {
 	var specs []experiments.RunSpec
 	for _, ports := range []int{1, 2} {
 		for _, mode := range []config.Mode{config.ModeNoIM, config.ModeIM, config.ModeV} {
@@ -170,10 +167,39 @@ func sweepBench(b *testing.B, noShare bool) {
 			}
 		}
 	}
+	return specs
+}
+
+// sweepBench is the shared body of the trace-sharing benchmarks: one cold
+// Runner per iteration executing the Figure 11/12 sweep, so
+// SweepLiveStream vs SweepSharedTrace isolates the
+// record-once/replay-many layer. Gang replay is pinned off (Gang: 1) —
+// each replay materializes its own window — so these two keep measuring
+// the sharing layer alone; the gang layer on top is BenchmarkSweepGang.
+func sweepBench(b *testing.B, noShare bool) {
+	b.Helper()
+	specs := fig11Specs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(experiments.Options{
-			Scale: benchScale, Seed: 1, NoSharedTraces: noShare,
+			Scale: benchScale, Seed: 1, NoSharedTraces: noShare, Gang: 1,
 		})
+		if _, err := r.RunAll(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+// BenchmarkSweepGang runs the identical sweep with gang replay (the
+// default mode): the configurations of each benchmark drive one shared
+// pre-decoded trace walk through per-member cursors. The ratio to
+// BenchmarkSweepSharedTrace is the gang-replay speedup — decode and
+// operand materialization once per block instead of once per
+// configuration.
+func BenchmarkSweepGang(b *testing.B) {
+	specs := fig11Specs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{Scale: benchScale, Seed: 1})
 		if _, err := r.RunAll(specs); err != nil {
 			b.Fatal(err)
 		}

@@ -44,6 +44,7 @@ func main() {
 		jobs         = flag.Int("jobs", 2, "jobs executing concurrently")
 		jobHistory   = flag.Int("job-history", 512, "terminal jobs retained in the registry (older ids answer 404; results stay in the cache)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations per job (0 = all cores)")
+		gang         = flag.Int("gang", 0, "gang replay within each job: 0 = gang all configurations per benchmark walk, 1 = off, K >= 2 caps gang size (results and cache keys unaffected)")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
@@ -67,6 +68,9 @@ func main() {
 	if *cacheBytes < 1 {
 		cliutil.Fatal("sdvd", cliutil.FlagError("cache-bytes", *cacheBytes, ">= 1"))
 	}
+	if err := cliutil.ValidateGang(*gang); err != nil {
+		cliutil.Fatal("sdvd", err)
+	}
 
 	logf := log.New(os.Stderr, "sdvd: ", log.LstdFlags).Printf
 	if *quiet {
@@ -81,6 +85,7 @@ func main() {
 		Jobs:         *jobs,
 		JobHistory:   *jobHistory,
 		SimWorkers:   *workers,
+		Gang:         *gang,
 		Logf:         logf,
 	})
 

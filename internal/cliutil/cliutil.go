@@ -29,6 +29,17 @@ func ValidateRunFlags(scale, shards, parallel int) error {
 	return nil
 }
 
+// ValidateGang checks a -gang flag value: 0 gangs every configuration
+// of a benchmark over one shared trace walk, 1 disables gang replay,
+// K >= 2 caps members per gang. Negative values are rejected rather
+// than silently treated as "disabled".
+func ValidateGang(gang int) error {
+	if gang < 0 {
+		return FlagError("gang", gang, ">= 0 (0 = gang all configs, 1 = off)")
+	}
+	return nil
+}
+
 // Fatal prints "tool: err" to stderr and exits 1.
 func Fatal(tool string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)

@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlagError(t *testing.T) {
+	err := FlagError("scale", -3, "> 0")
+	if err == nil {
+		t.Fatal("nil error")
+	}
+	for _, want := range []string{"-scale", "-3", "> 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("FlagError message %q missing %q", err, want)
+		}
+	}
+}
+
+func TestValidateRunFlags(t *testing.T) {
+	cases := []struct {
+		name               string
+		scale, shards, par int
+		wantErr            bool
+		flagNamedInMessage string
+	}{
+		{"all valid", 10_000, 1, 0, false, ""},
+		{"parallel explicit", 10_000, 8, 4, false, ""},
+		{"zero scale", 0, 1, 0, true, "-scale"},
+		{"negative scale", -5, 1, 0, true, "-scale"},
+		{"zero shards", 10_000, 0, 0, true, "-shards"},
+		{"negative shards", 10_000, -2, 0, true, "-shards"},
+		{"negative parallel", 10_000, 1, -1, true, "-parallel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateRunFlags(tc.scale, tc.shards, tc.par)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateRunFlags(%d, %d, %d) = %v, wantErr %v",
+					tc.scale, tc.shards, tc.par, err, tc.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), tc.flagNamedInMessage) {
+				t.Errorf("error %q does not name %s", err, tc.flagNamedInMessage)
+			}
+		})
+	}
+}
+
+// TestValidateRunFlagsFirstViolation pins the reporting order: scale,
+// then shards, then parallel — so a command line with several bad flags
+// gets a stable first diagnostic.
+func TestValidateRunFlagsFirstViolation(t *testing.T) {
+	err := ValidateRunFlags(0, 0, -1)
+	if err == nil || !strings.Contains(err.Error(), "-scale") {
+		t.Errorf("want the -scale violation first, got %v", err)
+	}
+	err = ValidateRunFlags(10_000, 0, -1)
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Errorf("want the -shards violation next, got %v", err)
+	}
+}
+
+func TestValidateGang(t *testing.T) {
+	for _, gang := range []int{0, 1, 2, 6, 128} {
+		if err := ValidateGang(gang); err != nil {
+			t.Errorf("ValidateGang(%d) = %v, want nil", gang, err)
+		}
+	}
+	for _, gang := range []int{-1, -128} {
+		err := ValidateGang(gang)
+		if err == nil {
+			t.Errorf("ValidateGang(%d) accepted a negative cap", gang)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-gang") {
+			t.Errorf("error %q does not name -gang", err)
+		}
+	}
+}

@@ -92,6 +92,7 @@ type regAllocUndo struct {
 	epoch uint64
 }
 type elemU struct {
+	rf  *RegFile // memo invalidation: the undo mutates an element flag
 	e   *ElemState
 	old bool
 }
@@ -218,12 +219,12 @@ func (j *Journal) pushRegAlloc(seq uint64, rf *RegFile, id int, epoch uint64) {
 	j.regAllocs.push(regAllocUndo{rf: rf, id: id, epoch: epoch})
 }
 
-func (j *Journal) pushElemU(seq uint64, e *ElemState) {
+func (j *Journal) pushElemU(seq uint64, rf *RegFile, e *ElemState) {
 	if j == nil {
 		return
 	}
 	j.record(seq, jElemU)
-	j.elemUs.push(elemU{e: e, old: e.U})
+	j.elemUs.push(elemU{rf: rf, e: e, old: e.U})
 }
 
 // PushVS snapshots one V/S rename-table entry (Figure 6 state owned by the
@@ -290,6 +291,9 @@ func (j *Journal) undoNewest() {
 	case jElemU:
 		r := j.elemUs.pop()
 		r.e.U = r.old
+		// The write bypasses the RegFile's mutators (raw element pointer),
+		// so the Sweep memo must be invalidated here.
+		r.rf.noteMut()
 	case jVS:
 		r := j.vsRecs.pop()
 		*r.e = r.old

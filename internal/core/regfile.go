@@ -80,7 +80,27 @@ type RegFile struct {
 	// freeBits is a bitmap of free register ids (bit set = free), so Alloc
 	// finds the lowest free id in O(words) instead of scanning every VReg.
 	freeBits []uint64
+
+	// Sweep memoization. A full Sweep scans every register and every
+	// element; in steady state the file is often full with nothing
+	// freeable, and decode retries the scan each time an allocation fails.
+	// muts counts mutations that can change any register's freeability
+	// (element flags, pins, allocations, releases); after a scan the
+	// (muts, gmrbb) pair is recorded, and a repeat Sweep with the same
+	// gmrbb and no intervening mutation returns 0 without scanning — the
+	// previous pass already freed everything freeable at that state. Every
+	// mutation path must bump muts, including journal rollbacks: undoAlloc
+	// is reached through the RegFile, and the element-U undo record
+	// carries the RegFile pointer for exactly this purpose.
+	muts       uint64
+	sweepMuts  uint64
+	sweepGmrbb uint64
+	sweepValid bool
 }
+
+// noteMut invalidates the Sweep memo; every mutation that can affect
+// freeable must route through it.
+func (rf *RegFile) noteMut() { rf.muts++ }
 
 // NewRegFile builds a register file of n registers with vl elements each;
 // n <= 0 selects unbounded mode.
@@ -167,6 +187,7 @@ func (rf *RegFile) Alloc(seq, pc, mrbb uint64, isLoad bool, start int, j *Journa
 		r.Elems[i].F = true
 	}
 	rf.inUse++
+	rf.noteMut()
 	epoch = r.Epoch
 	j.pushRegAlloc(seq, rf, id, epoch)
 	return id, epoch, true
@@ -185,6 +206,7 @@ func (rf *RegFile) undoAlloc(id int, epoch uint64) {
 		r.Epoch++
 		rf.inUse--
 		rf.markFree(id)
+		rf.noteMut()
 	}
 }
 
@@ -204,6 +226,7 @@ func (rf *RegFile) MarkComputed(id int, epoch uint64, elem int, at uint64) {
 	e := &rf.regs[id].Elems[elem]
 	e.Computed = true
 	e.ComputedAt = at
+	rf.noteMut()
 }
 
 // ElemReady reports whether element elem's data is available at cycle.
@@ -231,6 +254,7 @@ func (rf *RegFile) ClearUsed(id int, epoch uint64, elem int) {
 		return
 	}
 	rf.regs[id].Elems[elem].U = false
+	rf.noteMut()
 }
 
 // Pin marks the register as a live source of an in-flight vector instance;
@@ -238,6 +262,7 @@ func (rf *RegFile) ClearUsed(id int, epoch uint64, elem int) {
 func (rf *RegFile) Pin(id int, epoch uint64) {
 	if rf.ValidRef(id, epoch) {
 		rf.regs[id].pins++
+		rf.noteMut()
 	}
 }
 
@@ -245,6 +270,7 @@ func (rf *RegFile) Pin(id int, epoch uint64) {
 func (rf *RegFile) Unpin(id int, epoch uint64) {
 	if rf.ValidRef(id, epoch) && rf.regs[id].pins > 0 {
 		rf.regs[id].pins--
+		rf.noteMut()
 	}
 }
 
@@ -267,8 +293,9 @@ func (rf *RegFile) SetUsed(seq uint64, id int, epoch uint64, elem int, j *Journa
 		return
 	}
 	e := &rf.regs[id].Elems[elem]
-	j.pushElemU(seq, e)
+	j.pushElemU(seq, rf, e)
 	e.U = true
+	rf.noteMut()
 }
 
 // CommitValidation finalises element elem: V set, U cleared (§3.3).
@@ -280,6 +307,7 @@ func (rf *RegFile) CommitValidation(id int, epoch uint64, elem int) {
 	e := &rf.regs[id].Elems[elem]
 	e.V = true
 	e.U = false
+	rf.noteMut()
 }
 
 // SetElemFree marks element elem architecturally dead (F flag): the next
@@ -289,6 +317,7 @@ func (rf *RegFile) SetElemFree(id int, epoch uint64, elem int) {
 		return
 	}
 	rf.regs[id].Elems[elem].F = true
+	rf.noteMut()
 }
 
 // freeable implements §3.3's two release conditions, fused into one pass:
@@ -323,8 +352,14 @@ func (r *VReg) freeable(gmrbb uint64) bool {
 // Sweep releases every register satisfying a free condition and folds its
 // element outcome into the Figure 15 statistics. It returns the number
 // freed. The VRMT is not consulted: a freed register that is still mapped
-// is detected later through the epoch check.
+// is detected later through the epoch check. A Sweep repeated with the
+// same gmrbb and no intervening mutation is answered from the memo
+// without scanning: the previous pass freed everything freeable, so the
+// outcome is 0 by construction.
 func (rf *RegFile) Sweep(gmrbb uint64) int {
+	if rf.sweepValid && rf.sweepGmrbb == gmrbb && rf.sweepMuts == rf.muts {
+		return 0
+	}
 	freed := 0
 	for i := range rf.regs {
 		r := &rf.regs[i]
@@ -334,6 +369,11 @@ func (rf *RegFile) Sweep(gmrbb uint64) int {
 		rf.release(r)
 		freed++
 	}
+	// Record post-scan state: releases above bumped muts, and every
+	// register left is unfreeable at this gmrbb until something mutates.
+	rf.sweepValid = true
+	rf.sweepGmrbb = gmrbb
+	rf.sweepMuts = rf.muts
 	return freed
 }
 
@@ -375,6 +415,7 @@ func (rf *RegFile) release(r *VReg) {
 	r.pins = 0
 	rf.inUse--
 	rf.markFree(r.id)
+	rf.noteMut()
 }
 
 // CheckStoreConflict scans allocated load registers for one that the

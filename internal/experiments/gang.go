@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"specvec/internal/config"
+	"specvec/internal/pipeline"
+	"specvec/internal/stats"
+	"specvec/internal/trace"
+)
+
+// Gang replay: the configurations of a sweep that simulate the same
+// benchmark replay one shared recording, and the recording is decoded
+// once — a single trace.Decoded serves every member through a per-member
+// cursor, so decompression, tuple-pool lookups and successor-PC
+// derivation happen once per block instead of once per configuration.
+// RunAll and Prefetch group their spec batches by benchmark and claim
+// each group's uncached memo entries up front (dispatchGangs); one gang
+// goroutine then records (or loads) the shared trace, decodes it
+// lazily, and fans the member simulations out over the ordinary worker
+// pool. Everything per-configuration — timing state, VRMT, register
+// file, statistics, progress, cancellation — stays owned by the member's
+// own Simulator; only the immutable decoded stream is shared, which is
+// why gang results are byte-identical to sequential replay.
+
+// gangMember is one claimed (configuration, benchmark) simulation of a
+// gang: the spec plus the memo entry the gang must resolve.
+type gangMember struct {
+	cfg config.Config
+	key runKey
+	c   *call
+}
+
+// gang is one claimed batch of members sharing a benchmark recording.
+type gang struct {
+	bench   string
+	members []gangMember
+}
+
+// gangSize resolves Options.Gang: 0 means unbounded gangs (the
+// default), 1 disables gang replay, K >= 2 caps members per gang.
+// NoSharedTraces disables ganging outright — without a shared recording
+// there is nothing to walk once.
+func (r *Runner) gangSize() int {
+	switch {
+	case r.opts.NoSharedTraces || r.opts.Gang == 1 || r.opts.Gang < 0:
+		return 1
+	case r.opts.Gang == 0:
+		return int(^uint(0) >> 1)
+	default:
+		return r.opts.Gang
+	}
+}
+
+// decodedEntry is one per-benchmark shared decoded recording, alive
+// while at least one gang holds it. Refcounting scopes the decoded
+// blocks — about five times the column form's footprint — to the gangs
+// actually draining them: the entry is dropped when the last member
+// releases it, and a later wave (a second sweep over the same bench)
+// re-decodes lazily rather than pinning every benchmark's decoded form
+// for the life of the runner.
+type decodedEntry struct {
+	tr   *trace.Trace
+	d    *trace.Decoded
+	refs int
+}
+
+// acquireDecoded returns the live decoded form of tr, creating it on
+// first acquisition. An entry left over from a different trace of the
+// same benchmark (a recording evicted after cancellation and redone) is
+// replaced, never reused — the trace pointer is the identity.
+func (r *Runner) acquireDecoded(bench string, tr *trace.Trace) *trace.Decoded {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.decoded[bench]
+	if e == nil || e.tr != tr {
+		if e != nil {
+			r.foldDecodedLocked(e)
+		}
+		e = &decodedEntry{tr: tr, d: trace.NewDecoded(tr)}
+		r.decoded[bench] = e
+	}
+	e.refs++
+	return e.d
+}
+
+// releaseDecoded drops one reference; the entry (and its decoded
+// blocks) is discarded when the last holder releases.
+func (r *Runner) releaseDecoded(bench string, d *trace.Decoded) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.decoded[bench]
+	if e == nil || e.d != d {
+		return
+	}
+	if e.refs--; e.refs <= 0 {
+		r.foldDecodedLocked(e)
+		delete(r.decoded, bench)
+	}
+}
+
+// dropDecoded evicts bench's decoded entry immediately, mirroring the
+// memo eviction of a cancelled run: a gang member cancelled mid-walk
+// must not leave the decoded blocks pinned for a sweep nobody finishes,
+// and the next acquisition builds afresh. Members still draining their
+// own cursors keep using the orphaned Decoded harmlessly — it is
+// immutable — and their releases become no-ops.
+func (r *Runner) dropDecoded(bench string, d *trace.Decoded) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.decoded[bench]
+	if e == nil || e.d != d {
+		return
+	}
+	r.foldDecodedLocked(e)
+	delete(r.decoded, bench)
+}
+
+// foldDecodedLocked folds a retiring entry's counters into the runner
+// aggregates. Callers hold r.mu and remove the entry from the map in the
+// same critical section, so no entry is folded twice.
+func (r *Runner) foldDecodedLocked(e *decodedEntry) {
+	r.decodes.Add(e.d.BlockDecodes())
+	r.decodeLoads.Add(e.d.BlockLoads())
+}
+
+// dispatchGangs groups a spec batch by benchmark and claims each
+// group's not-yet-requested memo entries under the memo lock, then
+// drains the claimed gangs on a bounded feeder pool. Specs left
+// unclaimed — already cached, already in flight, in a single-spec group,
+// or with ganging disabled — follow the ordinary Run path unchanged, and
+// the caller's later Run calls join the claimed entries through the memo
+// exactly like any singleflight follower.
+func (r *Runner) dispatchGangs(specs []RunSpec) {
+	k := r.gangSize()
+	if k < 2 || len(specs) < 2 {
+		return
+	}
+	var order []string
+	byBench := map[string][]RunSpec{}
+	for _, s := range specs {
+		if _, ok := byBench[s.Bench]; !ok {
+			order = append(order, s.Bench)
+		}
+		byBench[s.Bench] = append(byBench[s.Bench], s)
+	}
+	var gangs []gang
+	for _, bench := range order {
+		group := byBench[bench]
+		if len(group) < 2 {
+			// A lone configuration gains nothing from a shared walk; leave
+			// it to Run, where a leader records while its own timing
+			// simulation executes.
+			continue
+		}
+		for len(group) > 0 {
+			chunk := group[:min(k, len(group))]
+			group = group[len(chunk):]
+			if g := r.claimGang(bench, chunk); len(g.members) > 0 {
+				gangs = append(gangs, g)
+			}
+		}
+	}
+	if len(gangs) == 0 {
+		return
+	}
+	// Bounded fan-out, mirroring Prefetch's feeders: at most Workers
+	// goroutines drain the gang list. Feeders run even under a cancelled
+	// context — runGang is what resolves (and evicts) the claimed
+	// entries, so skipping it would strand waiters.
+	next := new(atomic.Int64)
+	for n := min(len(gangs), r.opts.Workers); n > 0; n-- {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(gangs) {
+					return
+				}
+				r.runGang(gangs[i].bench, gangs[i].members)
+			}
+		}()
+	}
+}
+
+// claimGang creates memo entries for the chunk's unrequested specs. The
+// claimed entries are owned by the gang: nobody else will compute them,
+// and runGang must resolve every one.
+func (r *Runner) claimGang(bench string, chunk []RunSpec) gang {
+	g := gang{bench: bench}
+	r.mu.Lock()
+	for _, s := range chunk {
+		key := r.key(s.Cfg, bench)
+		if _, ok := r.cache[key]; ok {
+			continue
+		}
+		c := &call{done: make(chan struct{})}
+		r.cache[key] = c
+		g.members = append(g.members, gangMember{cfg: s.Cfg, key: key, c: c})
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// runGang resolves one gang: the shared trace is recorded (or loaded)
+// once with a pure functional pass, decoded once, and every member's
+// timing simulation replays it through its own cursor on its own
+// worker-pool slot, with per-member progress and cancellation. Members
+// whose context is cancelled evict their memo entries and the gang's
+// decoded blocks, mirroring Run, so a cancelled sweep never poisons the
+// next one.
+func (r *Runner) runGang(bench string, members []gangMember) {
+	tc, leader, err := r.sharedTrace(bench)
+	if err == nil && leader {
+		if tr, ok := r.loadStoredTrace(bench); ok {
+			if prog, perr := r.buildProgram(bench); perr != nil {
+				r.publishTrace(tc, bench, nil, nil, perr)
+			} else {
+				r.publishLoadedTrace(tc, prog, tr)
+			}
+		} else {
+			// The functional recording pass occupies a worker slot like any
+			// other simulation-shaped work.
+			select {
+			case r.sem <- struct{}{}:
+				r.recordShared(bench, tc)
+				<-r.sem
+			case <-r.ctx.Done():
+				err = r.ctx.Err()
+				r.dropTrace(bench, tc)
+				r.publishTrace(tc, bench, nil, nil, err)
+			}
+		}
+	}
+	if err == nil && tc.prog == nil {
+		err = tc.err
+	}
+	if err != nil {
+		r.failGang(bench, members, err)
+		return
+	}
+	var d *trace.Decoded
+	if tc.tr != nil {
+		d = r.acquireDecoded(bench, tc.tr)
+		defer r.releaseDecoded(bench, d)
+	}
+	if len(members) >= 2 {
+		r.gangBatches.Add(1)
+		r.gangRuns.Add(int64(len(members)))
+	}
+	// Members fan out on a bounded runner pool; each acquires its own
+	// semaphore slot, so total concurrency stays governed by Workers.
+	next := new(atomic.Int64)
+	var wg sync.WaitGroup
+	for n := min(len(members), r.opts.Workers); n > 0; n-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(members) {
+					return
+				}
+				r.runGangMember(bench, members[i], tc, d)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// failGang resolves every member with err. Cancellation evicts the
+// claimed entries — exactly as Run evicts its own on a cancelled
+// context — so the next requester recomputes; other errors stay
+// memoised like any failed run.
+func (r *Runner) failGang(bench string, members []gangMember, err error) {
+	evict := cancelled(err)
+	for _, m := range members {
+		m.c.err = fmt.Errorf("experiments: %s/%s: %w", m.cfg.Name, bench, err)
+		if evict {
+			r.evictCall(m.key, m.c)
+		}
+		close(m.c.done)
+		r.emit(ProgressEvent{Kind: RunDone, Cfg: m.cfg.Name, Bench: bench, Err: m.c.err})
+	}
+}
+
+// evictCall removes a memo entry if it is still c.
+func (r *Runner) evictCall(key runKey, c *call) {
+	r.mu.Lock()
+	if r.cache[key] == c {
+		delete(r.cache, key)
+	}
+	r.mu.Unlock()
+}
+
+// runGangMember executes one member simulation and resolves its claimed
+// memo entry, with the same eviction-on-cancellation contract as Run.
+func (r *Runner) runGangMember(bench string, m gangMember, tc *traceCall, d *trace.Decoded) {
+	if err := r.ctx.Err(); err != nil {
+		m.c.err = fmt.Errorf("experiments: %s/%s: %w", m.cfg.Name, bench, err)
+	} else {
+		select {
+		case r.sem <- struct{}{}:
+			r.sims.Add(1)
+			r.emit(ProgressEvent{Kind: RunStarted, Cfg: m.cfg.Name, Bench: bench, Target: uint64(r.opts.Scale)})
+			m.c.st, m.c.err = r.gangSim(m.cfg, bench, tc, d)
+			<-r.sem
+		case <-r.ctx.Done():
+			m.c.err = fmt.Errorf("experiments: %s/%s: %w", m.cfg.Name, bench, r.ctx.Err())
+		}
+	}
+	if m.c.err != nil && cancelled(m.c.err) {
+		r.evictCall(m.key, m.c)
+		if d != nil {
+			r.dropDecoded(bench, d)
+		}
+	}
+	close(m.c.done)
+	r.emit(ProgressEvent{Kind: RunDone, Cfg: m.cfg.Name, Bench: bench, Err: m.c.err})
+}
+
+// gangSim is one member's simulation body, mirroring the post-publish
+// half of simulate: replay the shared decoded trace when it can feed
+// this configuration, fall back to live emulation of the shared program
+// when it cannot, and shard the replay when the runner is configured
+// for it (the shards of every member then share the same decoded
+// blocks).
+func (r *Runner) gangSim(cfg config.Config, bench string, tc *traceCall, d *trace.Decoded) (*stats.Sim, error) {
+	if !r.usable(tc.tr, cfg) {
+		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+			return pipeline.New(cfg, tc.prog)
+		})
+	}
+	r.replayed.Add(1)
+	if r.opts.Shards > 1 {
+		return r.shardedReplay(cfg, bench, tc.tr, d)
+	}
+	return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+		return pipeline.NewFromSource(cfg, d.Cursor())
+	})
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"specvec/internal/config"
+	"specvec/internal/stats"
+)
+
+// gangSuite is a sweep-shaped fan-out: six configurations over a few
+// benchmarks, enough that every benchmark forms gangs at any cap.
+func gangSuite() []RunSpec {
+	cfgs := []config.Config{
+		config.MustNamed(4, 1, config.ModeV),
+		config.MustNamed(4, 1, config.ModeIM),
+		config.MustNamed(4, 1, config.ModeNoIM),
+		config.MustNamed(8, 1, config.ModeV),
+		config.MustNamed(8, 1, config.ModeIM),
+		config.MustNamed(8, 1, config.ModeNoIM),
+	}
+	benches := []string{"compress", "swim", "applu"}
+	var specs []RunSpec
+	for _, cfg := range cfgs {
+		for _, b := range benches {
+			specs = append(specs, RunSpec{Cfg: cfg, Bench: b})
+		}
+	}
+	return specs
+}
+
+// waitDecodedDrained waits for the runner's decoded-trace map to empty.
+// A gang releases its shared blocks in a defer that runs after the last
+// member's memo entry resolves, so callers that synchronized on the memo
+// may observe the release a beat later.
+func waitDecodedDrained(t *testing.T, r *Runner) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r.mu.Lock()
+		live := len(r.decoded)
+		r.mu.Unlock()
+		if live == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("%d decoded entries still pinned after all gangs drained", live)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGangReplayByteIdentical runs the same sweep with ganging disabled
+// (Gang: 1), capped gangs (Gang: 2 and 6) and unbounded gangs (Gang: 0),
+// and demands identical statistics from every mode: gang replay is
+// execution shape only, like Workers.
+func TestGangReplayByteIdentical(t *testing.T) {
+	specs := gangSuite()
+	run := func(gang int) []*stats.Sim {
+		t.Helper()
+		r := NewRunner(Options{Scale: 10_000, Seed: 1, Workers: 4, Gang: gang})
+		sims, err := r.RunAll(specs)
+		if err != nil {
+			t.Fatalf("gang=%d: %v", gang, err)
+		}
+		if gang == 1 {
+			if got := r.GangBatches(); got != 0 {
+				t.Errorf("gang=1 formed %d gangs, want 0", got)
+			}
+			return sims
+		}
+		if r.GangBatches() == 0 {
+			t.Errorf("gang=%d formed no gangs over %d specs", gang, len(specs))
+		}
+		if runs := r.GangRuns(); runs < 2 {
+			t.Errorf("gang=%d served %d member runs, want >= 2", gang, runs)
+		}
+		if dec, loads := r.DecodedBlocks(), r.DecodedBlockLoads(); loads <= dec {
+			t.Errorf("gang=%d: %d block loads for %d decodes — no decode work shared", gang, loads, dec)
+		}
+		return sims
+	}
+	base := run(1)
+	for _, gang := range []int{2, 6, 0} {
+		got := run(gang)
+		for i := range base {
+			if !reflect.DeepEqual(base[i], got[i]) {
+				t.Errorf("gang=%d: %s/%s differs from sequential replay",
+					gang, specs[i].Cfg.Name, specs[i].Bench)
+			}
+		}
+	}
+}
+
+// TestGangShardedByteIdentical covers the composed path — gangs whose
+// members shard their replays over the shared decoded trace — against
+// the same sweep sharded without ganging.
+func TestGangShardedByteIdentical(t *testing.T) {
+	specs := gangSuite()
+	run := func(gang int) []*stats.Sim {
+		t.Helper()
+		r := NewRunner(Options{Scale: 10_000, Seed: 1, Workers: 4, Gang: gang,
+			Shards: 3, CheckpointEvery: 2048})
+		sims, err := r.RunAll(specs)
+		if err != nil {
+			t.Fatalf("gang=%d shards=3: %v", gang, err)
+		}
+		return sims
+	}
+	base := run(1)
+	got := run(0)
+	for i := range base {
+		if !reflect.DeepEqual(base[i], got[i]) {
+			t.Errorf("sharded gang: %s/%s differs from sharded sequential",
+				specs[i].Cfg.Name, specs[i].Bench)
+		}
+	}
+}
+
+// TestGangConcurrentHammer drives overlapping gang sweeps from many
+// goroutines at one Runner: concurrent gangs share benchmark recordings
+// and decoded blocks while the memo deduplicates members. Under -race
+// this proves the claim/fan-out/refcount machinery is concurrency-safe;
+// the Simulations counter proves each unique key still ran exactly once.
+func TestGangConcurrentHammer(t *testing.T) {
+	r := NewRunner(Options{Scale: 8_000, Seed: 1, Workers: 4})
+	specs := gangSuite()
+	unique := map[runKey]bool{}
+	for _, s := range specs {
+		unique[r.key(s.Cfg, s.Bench)] = true
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Rotated and truncated batches so the gangs formed by each
+			// goroutine overlap but never coincide.
+			rot := append(append([]RunSpec(nil), specs[g%len(specs):]...), specs[:g%len(specs)]...)
+			if _, err := r.RunAll(rot[:len(rot)-g%4]); err != nil {
+				t.Error(err)
+			}
+			if _, err := r.RunAll(specs); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := r.Simulations(), int64(len(unique)); got != want {
+		t.Errorf("executed %d simulations for %d unique keys", got, want)
+	}
+	waitDecodedDrained(t, r)
+}
+
+// TestGangCancellationEvicts cancels a gang sweep mid-run and checks the
+// eviction contract: no memo entry for the cancelled keys survives, the
+// shared decoded blocks are dropped rather than pinned, and a fresh
+// runner recomputes the sweep successfully — a cancelled sweep must not
+// poison the next one.
+func TestGangCancellationEvicts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	r := NewRunner(Options{
+		Scale: 200_000, Seed: 1, Workers: 2, Context: ctx,
+		Progress: func(ev ProgressEvent) {
+			if ev.Kind == RunProgress {
+				once.Do(cancel)
+			}
+		},
+	})
+	specs := gangSuite()
+	_, err := r.RunAll(specs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// RunAll returns as soon as its own waiters observe the cancellation;
+	// the gang goroutines resolve (and evict) their claimed entries
+	// asynchronously. Wait for every claimed entry to settle — eviction
+	// happens before an entry's done channel closes — then assert.
+	r.mu.Lock()
+	inflight := make([]*call, 0, len(r.cache))
+	for _, c := range r.cache {
+		inflight = append(inflight, c)
+	}
+	r.mu.Unlock()
+	for _, c := range inflight {
+		<-c.done
+	}
+	r.mu.Lock()
+	var poisoned []string
+	for _, s := range specs {
+		if c, ok := r.cache[r.key(s.Cfg, s.Bench)]; ok && c.err != nil {
+			poisoned = append(poisoned, s.Cfg.Name+"/"+s.Bench)
+		}
+	}
+	r.mu.Unlock()
+	if len(poisoned) > 0 {
+		t.Errorf("cancelled gang left poisoned memo entries: %v", poisoned)
+	}
+	waitDecodedDrained(t, r)
+
+	// The next sweep — a fresh runner with a live context, as the service
+	// layer would construct — recomputes from scratch.
+	fresh := NewRunner(Options{Scale: 5_000, Seed: 1, Workers: 2})
+	if _, err := fresh.RunAll(specs); err != nil {
+		t.Fatalf("recompute after cancelled gang: %v", err)
+	}
+	if fresh.Simulations() != int64(len(specs)) {
+		t.Errorf("fresh runner executed %d of %d sweeps", fresh.Simulations(), len(specs))
+	}
+}

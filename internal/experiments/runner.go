@@ -78,6 +78,18 @@ type Options struct {
 	// Runner instances (see TraceStore). A leader checks the store before
 	// recording and publishes successful recordings back to it.
 	Traces TraceStore
+	// Gang controls gang replay: configurations submitted together
+	// (RunAll/Prefetch) that share one recorded benchmark are grouped
+	// into a gang whose members replay a single shared pre-decoded trace
+	// walk (trace.Decoded) through per-member cursors, so column decode
+	// and operand materialization happen once per block instead of once
+	// per configuration. 0 (the default) gangs every configuration of a
+	// benchmark in the batch; 1 disables ganging — each replay
+	// materializes its own window, the pre-gang behaviour; K >= 2 caps
+	// members per gang. Like Workers, this is execution shape only:
+	// results are byte-identical in every mode, which is why the service
+	// layer excludes it from cache keys.
+	Gang int
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -199,14 +211,20 @@ type Runner struct {
 	ctx  context.Context // Options.Context or Background; never nil
 	sem  chan struct{}   // bounds concurrently executing simulations
 
-	mu     sync.Mutex
-	cache  map[runKey]*call
-	traces map[string]*traceCall
+	mu      sync.Mutex
+	cache   map[runKey]*call
+	traces  map[string]*traceCall
+	decoded map[string]*decodedEntry // per-benchmark gang-shared decoded traces
 
 	sims     atomic.Int64 // simulations actually executed (cache misses)
 	recorded atomic.Int64 // benchmark traces recorded (trace-cache misses)
 	replayed atomic.Int64 // simulations served from a recorded trace
 	loaded   atomic.Int64 // benchmark traces loaded from Options.Traces
+
+	gangBatches atomic.Int64 // gangs of >= 2 members that shared a walk
+	gangRuns    atomic.Int64 // member simulations those gangs served
+	decodes     atomic.Int64 // decoded-trace blocks decoded (retired entries)
+	decodeLoads atomic.Int64 // decoded-trace block fetches (retired entries)
 
 	// Aggregated pipeline hot-path counters across every simulation the
 	// runner executed (service /metrics). Folded via profile.HotStats.Add
@@ -223,11 +241,12 @@ func NewRunner(opts Options) *Runner {
 		ctx = context.Background()
 	}
 	return &Runner{
-		opts:   opts,
-		ctx:    ctx,
-		sem:    make(chan struct{}, opts.Workers),
-		cache:  map[runKey]*call{},
-		traces: map[string]*traceCall{},
+		opts:    opts,
+		ctx:     ctx,
+		sem:     make(chan struct{}, opts.Workers),
+		cache:   map[runKey]*call{},
+		traces:  map[string]*traceCall{},
+		decoded: map[string]*decodedEntry{},
 	}
 }
 
@@ -280,6 +299,40 @@ func (r *Runner) TraceReplays() int64 { return r.replayed.Load() }
 // TraceLoads returns how many benchmark traces were served by
 // Options.Traces instead of being recorded.
 func (r *Runner) TraceLoads() int64 { return r.loaded.Load() }
+
+// GangBatches returns how many gangs of two or more members shared one
+// decoded trace walk.
+func (r *Runner) GangBatches() int64 { return r.gangBatches.Load() }
+
+// GangRuns returns the total member simulations those gangs served;
+// GangRuns / GangBatches is the mean number of configurations driven per
+// shared walk.
+func (r *Runner) GangRuns() int64 { return r.gangRuns.Load() }
+
+// DecodedBlocks returns how many trace blocks gang replay actually
+// decoded, including blocks of entries still live.
+func (r *Runner) DecodedBlocks() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.decodes.Load()
+	for _, e := range r.decoded {
+		n += e.d.BlockDecodes()
+	}
+	return n
+}
+
+// DecodedBlockLoads returns how many block fetches gang cursors
+// performed; DecodedBlockLoads - DecodedBlocks is the decode work the
+// sharing saved.
+func (r *Runner) DecodedBlockLoads() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.decodeLoads.Load()
+	for _, e := range r.decoded {
+		n += e.d.BlockLoads()
+	}
+	return n
+}
 
 // Run simulates benchmark bench under cfg and returns its statistics.
 // Results are memoised on (config name, variant flags, benchmark); an
@@ -497,7 +550,7 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 	}
 	r.replayed.Add(1)
 	if r.opts.Shards > 1 {
-		return r.shardedReplay(cfg, bench, tc.tr)
+		return r.shardedReplay(cfg, bench, tc.tr, nil)
 	}
 	return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
 		return pipeline.NewFromSource(cfg, trace.NewReplayer(tc.tr, pipeline.SourceWindow(cfg)))
@@ -638,6 +691,7 @@ func (r *Runner) timedRun(cfg config.Config, bench string, mk func() (*pipeline.
 // after all runs settle, so a failed batch leaves no simulation in
 // flight.
 func (r *Runner) RunAll(specs []RunSpec) ([]*stats.Sim, error) {
+	r.dispatchGangs(specs)
 	out := make([]*stats.Sim, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -669,6 +723,7 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	if len(specs) == 0 {
 		return
 	}
+	r.dispatchGangs(specs)
 	specs = append([]RunSpec(nil), specs...)
 	next := new(atomic.Int64)
 	for n := min(len(specs), r.opts.Workers); n > 0; n-- {

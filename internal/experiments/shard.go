@@ -82,10 +82,18 @@ func shardPlan(tr *trace.Trace, total uint64, shards int, warmup uint64) []shard
 
 // runShard executes one interval of the plan. A non-nil ctx cancels the
 // interval (service-layer jobs); a non-nil hot callback receives the
-// shard simulator's hot-path counters.
-func runShard(ctx context.Context, cfg config.Config, tr *trace.Trace, sp shardSpec, hot func(profile.HotStats)) (*stats.Sim, error) {
-	rep := trace.NewReplayerAt(tr, pipeline.SourceWindow(cfg), sp.replayFrom)
-	sim, err := pipeline.NewFromSource(cfg, rep)
+// shard simulator's hot-path counters. A non-nil d replays through a
+// cursor over the shared decoded trace (gang replay) instead of
+// materializing a private window — the shards of every gang member then
+// decode each block once between them.
+func runShard(ctx context.Context, cfg config.Config, tr *trace.Trace, d *trace.Decoded, sp shardSpec, hot func(profile.HotStats)) (*stats.Sim, error) {
+	var src pipeline.Source
+	if d != nil {
+		src = d.CursorAt(sp.replayFrom)
+	} else {
+		src = trace.NewReplayerAt(tr, pipeline.SourceWindow(cfg), sp.replayFrom)
+	}
+	sim, err := pipeline.NewFromSource(cfg, src)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +114,7 @@ func runShard(ctx context.Context, cfg config.Config, tr *trace.Trace, sp shardS
 // in-flight shard — and merges the interval statistics in shard order.
 // onDone (optional) observes each finished interval with the count of
 // completed intervals so far; it may be called concurrently.
-func runShards(ctx context.Context, cfg config.Config, tr *trace.Trace, plan []shardSpec,
+func runShards(ctx context.Context, cfg config.Config, tr *trace.Trace, d *trace.Decoded, plan []shardSpec,
 	sem chan struct{}, hot func(profile.HotStats), onDone func(done, total int)) (*stats.Sim, error) {
 	results := make([]*stats.Sim, len(plan))
 	errs := make([]error, len(plan))
@@ -127,7 +135,7 @@ func runShards(ctx context.Context, cfg config.Config, tr *trace.Trace, plan []s
 				sem <- struct{}{}
 			}
 			defer func() { <-sem }()
-			results[i], errs[i] = runShard(ctx, cfg, tr, sp, hot)
+			results[i], errs[i] = runShard(ctx, cfg, tr, d, sp, hot)
 			if errs[i] == nil && onDone != nil {
 				onDone(int(finished.Add(1)), len(plan))
 			}
@@ -154,7 +162,7 @@ func runShards(ctx context.Context, cfg config.Config, tr *trace.Trace, plan []s
 // fan out — each shard acquires its own — and re-acquired before
 // returning so Run's release stays balanced and total concurrency never
 // exceeds Workers.
-func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace) (*stats.Sim, error) {
+func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace, d *trace.Decoded) (*stats.Sim, error) {
 	plan := shardPlan(tr, uint64(r.opts.Scale), r.opts.Shards, uint64(r.opts.ShardWarmup))
 	var onDone func(done, total int)
 	if r.opts.Progress != nil {
@@ -164,7 +172,7 @@ func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace)
 		}
 	}
 	<-r.sem
-	st, err := runShards(r.ctx, cfg, tr, plan, r.sem, r.collectHot, onDone)
+	st, err := runShards(r.ctx, cfg, tr, d, plan, r.sem, r.collectHot, onDone)
 	r.sem <- struct{}{}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
@@ -194,6 +202,6 @@ func ShardedReplay(cfg config.Config, tr *trace.Trace, total uint64, shards, war
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return runShards(nil, cfg, tr, shardPlan(tr, total, shards, uint64(warmup)),
+	return runShards(nil, cfg, tr, nil, shardPlan(tr, total, shards, uint64(warmup)),
 		make(chan struct{}, workers), nil, nil)
 }

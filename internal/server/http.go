@@ -271,6 +271,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("sdvd_trace_replays_total %d", sc.replayed.Load())
 	p("sdvd_runner_trace_loads_total %d", sc.traceLoads.Load())
 
+	// Gang replay: batches is the number of shared trace walks, runs the
+	// member simulations they fed (runs/batches = configs per walk), and
+	// decode_saved the block decodes the sharing avoided (fetches that hit
+	// an already-decoded block instead of decoding their own copy).
+	p("sdvd_gang_batches_total %d", sc.gangBatches.Load())
+	p("sdvd_gang_runs_total %d", sc.gangRuns.Load())
+	p("sdvd_gang_decoded_blocks_total %d", sc.decodedBlocks.Load())
+	p("sdvd_gang_decode_saved_total %d", sc.decodedBlockLoads.Load()-sc.decodedBlocks.Load())
+
 	h := sc.hotStats()
 	p("sdvd_hotpath_uop_news_total %d", h.UopNews)
 	p("sdvd_hotpath_uop_recycles_total %d", h.UopRecycles)

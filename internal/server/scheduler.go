@@ -30,6 +30,7 @@ type scheduler struct {
 	cache   *Cache
 	traces  *traceCache
 	workers int // per-job simulation workers
+	gang    int // gang replay mode for each job's Runner (Options.Gang)
 	history int // terminal jobs retained in the registry
 	logf    func(format string, args ...any)
 
@@ -49,6 +50,8 @@ type scheduler struct {
 
 	// Runner counters aggregated across every job.
 	sims, recorded, replayed, traceLoads atomic.Int64
+	gangBatches, gangRuns                atomic.Int64
+	decodedBlocks, decodedBlockLoads     atomic.Int64
 	hotMu                                sync.Mutex
 	hot                                  profile.HotStats
 }
@@ -264,6 +267,7 @@ func (s *scheduler) compute(ctx context.Context, job *Job) ([]byte, error) {
 		CheckpointEvery: spec.CheckpointEvery,
 		Context:         ctx,
 		Progress:        job.progressHook,
+		Gang:            s.gang,
 	}.WithDefaults()
 	if s.traces != nil {
 		opts.Traces = s.traces.forOptions(opts)
@@ -306,6 +310,10 @@ func (s *scheduler) collect(r *experiments.Runner) {
 	s.recorded.Add(r.TraceRecordings())
 	s.replayed.Add(r.TraceReplays())
 	s.traceLoads.Add(r.TraceLoads())
+	s.gangBatches.Add(r.GangBatches())
+	s.gangRuns.Add(r.GangRuns())
+	s.decodedBlocks.Add(r.DecodedBlocks())
+	s.decodedBlockLoads.Add(r.DecodedBlockLoads())
 	s.hotMu.Lock()
 	s.hot.Add(r.HotStats())
 	s.hotMu.Unlock()

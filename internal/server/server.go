@@ -33,6 +33,12 @@ type Options struct {
 	// SimWorkers bounds concurrent simulations per job (default
 	// GOMAXPROCS).
 	SimWorkers int
+	// Gang controls gang replay inside each job's Runner: 0 (default)
+	// gangs every configuration sharing a benchmark recording over one
+	// decoded trace walk, 1 disables ganging, K >= 2 caps gang size.
+	// Execution shape only — results and cache keys are unaffected, so a
+	// daemon restarted with a different Gang still hits its result cache.
+	Gang int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -57,6 +63,7 @@ func New(opts Options) *Server {
 		started: time.Now(),
 	}
 	s.sched = newScheduler(opts.Jobs, opts.QueueDepth, opts.SimWorkers, opts.JobHistory, s.cache, s.traces, opts.Logf)
+	s.sched.gang = opts.Gang
 	s.mux = s.handler()
 	return s
 }
