@@ -31,6 +31,7 @@ import (
 
 	"specvec/internal/cliutil"
 	"specvec/internal/server"
+	"specvec/internal/wspec"
 )
 
 func main() {
@@ -45,9 +46,22 @@ func main() {
 		jobHistory   = flag.Int("job-history", 512, "terminal jobs retained in the registry (older ids answer 404; results stay in the cache)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations per job (0 = all cores)")
 		gang         = flag.Int("gang", 0, "gang replay within each job: 0 = gang all configurations per benchmark walk, 1 = off, K >= 2 caps gang size (results and cache keys unaffected)")
+		specArg      = flag.String("spec", "", "workload-spec file(s) (YAML/JSON, comma-separated): register their generated workloads for /v1/workloads discovery and by-name sim jobs")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
+
+	if *specArg != "" {
+		paths, err := cliutil.SplitSpecPaths(*specArg)
+		if err != nil {
+			cliutil.Fatal("sdvd", err)
+		}
+		for _, p := range paths {
+			if _, err := wspec.LoadAndRegister(p); err != nil {
+				cliutil.Fatal("sdvd", err)
+			}
+		}
+	}
 
 	for _, f := range []struct {
 		name string

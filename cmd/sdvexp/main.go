@@ -32,6 +32,7 @@ import (
 	"specvec/internal/cliutil"
 	"specvec/internal/experiments"
 	"specvec/internal/server"
+	"specvec/internal/wspec"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		ckptEvry  = flag.Int("ckpt-every", 0, "checkpoint interval in instructions for recorded traces (0 = auto when -shards > 1)")
 		gang      = flag.Int("gang", 0, "gang replay: configurations sharing a benchmark recording replay one pre-decoded trace walk (0 = gang all, 1 = off, K >= 2 caps gang size; output is byte-identical in every mode)")
 		serverURL = flag.String("server", "", "submit to a running sdvd daemon at this base URL instead of simulating locally (output is byte-identical)")
+		specArg   = flag.String("spec", "", "workload-spec file(s) (YAML/JSON, comma-separated): run the generated workloads through the headline sweep; without an explicit -exp only the sweep runs")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -64,19 +66,39 @@ func main() {
 		cliutil.Fatal("sdvexp", err)
 	}
 
-	var toRun []experiments.Experiment
-	if *exp == "all" {
-		toRun = experiments.All()
-	} else {
-		e, err := experiments.Get(*exp)
+	// Load and register workload specs. The generated workloads are
+	// swept separately from the paper's experiments: with -spec alone
+	// only the sweep runs; adding an explicit -exp runs both.
+	var specFiles []*wspec.File
+	if *specArg != "" {
+		paths, err := cliutil.SplitSpecPaths(*specArg)
 		if err != nil {
 			cliutil.Fatal("sdvexp", err)
 		}
-		toRun = []experiments.Experiment{e}
+		for _, p := range paths {
+			f, err := wspec.LoadAndRegister(p)
+			if err != nil {
+				cliutil.Fatal("sdvexp", err)
+			}
+			specFiles = append(specFiles, f)
+		}
+	}
+
+	var toRun []experiments.Experiment
+	if *specArg == "" || flagSet("exp") {
+		if *exp == "all" {
+			toRun = experiments.All()
+		} else {
+			e, err := experiments.Get(*exp)
+			if err != nil {
+				cliutil.Fatal("sdvexp", err)
+			}
+			toRun = []experiments.Experiment{e}
+		}
 	}
 
 	if *serverURL != "" {
-		if err := runRemote(*serverURL, toRun, *scale, *seed, *shards, *ckptEvry); err != nil {
+		if err := runRemote(*serverURL, toRun, specFiles, *scale, *seed, *shards, *ckptEvry); err != nil {
 			cliutil.Fatal("sdvexp", err)
 		}
 		return
@@ -96,6 +118,25 @@ func main() {
 		render(tables)
 		timing(e.ID, start)
 	}
+	// One sweep per spec file, matching the one-job-per-file served path
+	// so local and -server output stay byte-diffable.
+	for _, f := range specFiles {
+		start := time.Now()
+		tables, err := experiments.SpecSweep(runner, f.Names())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specsweep: %v\n", err)
+			os.Exit(1)
+		}
+		render(tables)
+		timing("specsweep", start)
+	}
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	return set
 }
 
 // render prints tables exactly the same way for local and served runs,
@@ -112,27 +153,45 @@ func timing(id string, start time.Time) {
 	fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", id, time.Since(start).Seconds())
 }
 
-// runRemote submits one job per experiment to an sdvd daemon and renders
-// the returned tables. Each experiment is its own job so the daemon
-// caches — and a later invocation reuses — every figure independently.
-func runRemote(base string, toRun []experiments.Experiment, scale int, seed int64, shards, ckptEvery int) error {
+// runRemote submits one job per experiment — plus one sweep job per
+// loaded spec file — to an sdvd daemon and renders the returned tables.
+// Each experiment is its own job so the daemon caches — and a later
+// invocation reuses — every figure independently; a sweep job carries
+// the spec file's canonical form, so its cache entry is addressed by
+// workload content, not file name.
+func runRemote(base string, toRun []experiments.Experiment, specFiles []*wspec.File, scale int, seed int64, shards, ckptEvery int) error {
 	base = strings.TrimRight(base, "/")
-	for _, e := range toRun {
+	submit := func(id string, spec server.JobSpec) error {
 		start := time.Now()
-		spec := server.JobSpec{
-			Kind: server.KindExperiment, Exp: e.ID,
-			Scale: scale, Seed: seed, Shards: shards, CheckpointEvery: ckptEvery,
-		}
 		tables, view, err := submitAndWait(base, spec)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		render(tables)
 		source := view.Source
 		if source == "" {
 			source = "computed"
 		}
-		fmt.Fprintf(os.Stderr, "[%s via %s (%s) in %.1fs]\n", e.ID, base, source, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s via %s (%s) in %.1fs]\n", id, base, source, time.Since(start).Seconds())
+		return nil
+	}
+	for _, e := range toRun {
+		spec := server.JobSpec{
+			Kind: server.KindExperiment, Exp: e.ID,
+			Scale: scale, Seed: seed, Shards: shards, CheckpointEvery: ckptEvery,
+		}
+		if err := submit(e.ID, spec); err != nil {
+			return err
+		}
+	}
+	for _, f := range specFiles {
+		spec := server.JobSpec{
+			Kind: server.KindSweep, Specs: f.Canonical(),
+			Scale: scale, Seed: seed, Shards: shards, CheckpointEvery: ckptEvery,
+		}
+		if err := submit("specsweep", spec); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 	"specvec/internal/stats"
 	"specvec/internal/trace"
 	"specvec/internal/workload"
+	"specvec/internal/wspec"
 )
 
 func main() {
@@ -54,8 +55,29 @@ func main() {
 		trcIn    = flag.String("trace-replay", "", "simulate from a recorded trace file instead of a workload")
 		shards   = flag.Int("shards", 1, "split each simulation into K checkpoint-fast-forwarded intervals (1 = exact single pass)")
 		ckptEvry = flag.Int("ckpt-every", 0, "embed an architectural checkpoint every N instructions when recording (0 = auto when -shards > 1, else none)")
+		specArg  = flag.String("spec", "", "workload-spec file(s) (YAML/JSON, comma-separated): register their generated workloads; with no -workload, run all of them")
 	)
 	flag.Parse()
+
+	// Register spec workloads before anything lists or resolves names.
+	var specNames []string
+	if *specArg != "" {
+		paths, err := cliutil.SplitSpecPaths(*specArg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range paths {
+			f, err := wspec.LoadAndRegister(p)
+			if err != nil {
+				fatal(err)
+			}
+			specNames = append(specNames, f.Names()...)
+		}
+		if *wl == "" && *asmFile == "" && *trcIn == "" {
+			// -spec alone means "run the spec's workloads".
+			*wl = strings.Join(specNames, ",")
+		}
+	}
 
 	if *listWLs {
 		for _, b := range workload.All() {
@@ -276,10 +298,10 @@ func printRun(prog, cfg string, st *stats.Sim, sim *pipeline.Simulator, hotStats
 }
 
 // workloadNames expands a -workload argument: one name, a comma-separated
-// list, or "all" for the full suite.
+// list, or "all" for the full suite plus any registered spec workloads.
 func workloadNames(arg string) ([]string, error) {
 	if arg == "all" {
-		return workload.Names(), nil
+		return append(workload.Names(), workload.GeneratedNames()...), nil
 	}
 	var names []string
 	for _, n := range strings.Split(arg, ",") {

@@ -7,6 +7,7 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"strings"
 )
 
 // FlagError reports an invalid flag value with the accepted range.
@@ -38,6 +39,52 @@ func ValidateGang(gang int) error {
 		return FlagError("gang", gang, ">= 0 (0 = gang all configs, 1 = off)")
 	}
 	return nil
+}
+
+// ValidateSpecPath checks a -spec flag value before it is parsed as a
+// workload-spec file: the path must name an existing, non-empty regular
+// file. Content-level problems (bad YAML, empty workload lists,
+// duplicate names) are wspec.Parse's job; this catches the pure
+// flag-level mistakes with the same one-line shape as the other
+// validators.
+func ValidateSpecPath(path string) error {
+	if path == "" {
+		return FlagError("spec", "\"\"", "a workload-spec file path")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("invalid -spec %q: no such file", path)
+		}
+		return fmt.Errorf("invalid -spec %q: %v", path, err)
+	}
+	if fi.IsDir() {
+		return fmt.Errorf("invalid -spec %q: is a directory, want a YAML/JSON spec file", path)
+	}
+	if fi.Size() == 0 {
+		return fmt.Errorf("invalid -spec %q: file is empty", path)
+	}
+	return nil
+}
+
+// SplitSpecPaths expands a comma-separated -spec value and validates
+// each path.
+func SplitSpecPaths(arg string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(arg, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if err := ValidateSpecPath(p); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, FlagError("spec", fmt.Sprintf("%q", arg), "one or more workload-spec file paths")
+	}
+	return out, nil
 }
 
 // Fatal prints "tool: err" to stderr and exits 1.

@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,5 +77,67 @@ func TestValidateGang(t *testing.T) {
 		if !strings.Contains(err.Error(), "-gang") {
 			t.Errorf("error %q does not name -gang", err)
 		}
+	}
+}
+
+func TestValidateSpecPath(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.yaml")
+	if err := os.WriteFile(good, []byte("wspec: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.yaml")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ValidateSpecPath(good); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+	cases := []struct {
+		name, path, want string
+	}{
+		{"empty flag", "", "-spec"},
+		{"missing file", filepath.Join(dir, "nope.yaml"), "no such file"},
+		{"directory", dir, "is a directory"},
+		{"empty file", empty, "file is empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSpecPath(tc.path)
+			if err == nil {
+				t.Fatalf("ValidateSpecPath(%q) accepted", tc.path)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("multi-line error: %q", err)
+			}
+		})
+	}
+}
+
+func TestSplitSpecPaths(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.yaml")
+	b := filepath.Join(dir, "b.yaml")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte("wspec: 1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := SplitSpecPaths(a + ", " + b + ",")
+	if err != nil {
+		t.Fatalf("SplitSpecPaths: %v", err)
+	}
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("got %v, want [%s %s]", got, a, b)
+	}
+	if _, err := SplitSpecPaths(",,"); err == nil {
+		t.Error("all-empty -spec list accepted")
+	}
+	if _, err := SplitSpecPaths(a + "," + filepath.Join(dir, "gone.yaml")); err == nil {
+		t.Error("list with a missing file accepted")
 	}
 }

@@ -90,6 +90,13 @@ type Options struct {
 	// results are byte-identical in every mode, which is why the service
 	// layer excludes it from cache keys.
 	Gang int
+	// Workloads, when non-nil, resolves benchmark names instead of the
+	// global workload registry. The service layer threads a per-job
+	// resolver built from the job's workload-spec payload through here,
+	// so concurrent jobs carrying different spec files never observe each
+	// other's generated workloads. Nil means workload.Get: built-ins plus
+	// whatever the process registered at startup (CLI -spec flags).
+	Workloads func(name string) (workload.Benchmark, error)
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -485,10 +492,19 @@ func (r *Runner) loadStoredTrace(bench string) (*trace.Trace, bool) {
 	return tr, true
 }
 
+// lookup resolves a benchmark name through the runner's resolver, or the
+// global registry when none is set.
+func (r *Runner) lookup(bench string) (workload.Benchmark, error) {
+	if r.opts.Workloads != nil {
+		return r.opts.Workloads(bench)
+	}
+	return workload.Get(bench)
+}
+
 // buildProgram constructs the benchmark program at the runner's scale and
 // seed.
 func (r *Runner) buildProgram(bench string) (*isa.Program, error) {
-	b, err := workload.Get(bench)
+	b, err := r.lookup(bench)
 	if err != nil {
 		return nil, err
 	}

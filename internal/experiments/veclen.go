@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"specvec/internal/emu"
-	"specvec/internal/workload"
 )
 
 // functionalTrace returns the bench's shared trace entry, recording it
@@ -125,7 +124,7 @@ func (r *Runner) eachRecord(bench string, budget int, yield func(*emu.DynInst)) 
 		}
 		return emulateRecords(m, budget, yield)
 	}
-	b, err := workload.Get(bench)
+	b, err := r.lookup(bench)
 	if err != nil {
 		return err
 	}

@@ -209,11 +209,12 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	type wlView struct {
 		Name        string `json:"name"`
 		FP          bool   `json:"fp"`
+		Generated   bool   `json:"generated,omitempty"`
 		Description string `json:"description"`
 	}
 	var out []wlView
 	for _, b := range workload.All() {
-		out = append(out, wlView{Name: b.Name, FP: b.FP, Description: b.Description})
+		out = append(out, wlView{Name: b.Name, FP: b.FP, Generated: b.Generated, Description: b.Description})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +13,8 @@ import (
 
 	"specvec/internal/experiments"
 	"specvec/internal/profile"
+	"specvec/internal/workload"
+	"specvec/internal/wspec"
 )
 
 // ErrQueueFull rejects submissions when the bounded job queue is at
@@ -269,8 +273,36 @@ func (s *scheduler) compute(ctx context.Context, job *Job) ([]byte, error) {
 		Progress:        job.progressHook,
 		Gang:            s.gang,
 	}.WithDefaults()
+	// A job carrying a workload-spec payload resolves its generated
+	// workloads through a per-job resolver, so concurrent jobs with
+	// different spec files never observe each other's definitions, and
+	// its trace artifacts are additionally scoped by the payload's hash
+	// (same name, different definition, different recording).
+	var specFile *wspec.File
+	if spec.Specs != "" {
+		f, err := wspec.Parse([]byte(spec.Specs))
+		if err != nil {
+			return nil, err
+		}
+		specFile = f
+		compiled := map[string]workload.Benchmark{}
+		for _, w := range f.Workloads {
+			compiled[w.Name] = wspec.CompileSpec(w)
+		}
+		opts.Workloads = func(name string) (workload.Benchmark, error) {
+			if b, ok := compiled[name]; ok {
+				return b, nil
+			}
+			return workload.Get(name)
+		}
+	}
 	if s.traces != nil {
-		opts.Traces = s.traces.forOptions(opts)
+		if spec.Specs != "" {
+			sum := sha256.Sum256([]byte(spec.Specs))
+			opts.Traces = s.traces.forOptionsWith(opts, hex.EncodeToString(sum[:6]))
+		} else {
+			opts.Traces = s.traces.forOptions(opts)
+		}
 	}
 	runner := experiments.NewRunner(opts)
 	defer s.collect(runner)
@@ -297,6 +329,12 @@ func (s *scheduler) compute(ctx context.Context, job *Job) ([]byte, error) {
 			return nil, err
 		}
 		res.Stats = st
+	case KindSweep:
+		tables, err := experiments.SpecSweep(runner, specFile.Names())
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = tables
 	default:
 		return nil, fmt.Errorf("server: unknown spec kind %q", spec.Kind)
 	}

@@ -12,6 +12,7 @@ import (
 	"specvec/internal/experiments"
 	"specvec/internal/stats"
 	"specvec/internal/workload"
+	"specvec/internal/wspec"
 )
 
 // resultSchema versions the Result encoding itself. Bump it when the JSON
@@ -44,11 +45,21 @@ type JobSpec struct {
 	Seed            int64 `json:"seed,omitempty"`
 	Shards          int   `json:"shards,omitempty"`
 	CheckpointEvery int   `json:"ckptEvery,omitempty"`
+	// Specs carries a workload-spec document (internal/wspec, YAML or
+	// JSON; Normalize stores the canonical form). Required for the sweep
+	// kind; for the sim kind it may define the generated workload being
+	// simulated. It participates in the cache key, so a generated
+	// workload's cache entry is addressed by its full definition, never
+	// just its name.
+	Specs string `json:"specs,omitempty"`
 }
 
 const (
 	KindExperiment = "experiment"
 	KindSim        = "sim"
+	// KindSweep runs every workload defined by Specs through the
+	// headline configurations (experiments.SpecSweep).
+	KindSweep = "sweep"
 )
 
 // Normalize validates s and resolves every default, returning the
@@ -60,11 +71,28 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		s.Kind = KindExperiment
 	case s.Kind == "" && s.Workload != "" && s.Exp == "":
 		s.Kind = KindSim
+	case s.Kind == "" && s.Specs != "" && s.Exp == "" && s.Workload == "":
+		s.Kind = KindSweep
+	}
+	// Parse and re-canonicalize the workload-spec payload, so two
+	// submissions that format the same spec differently share a cache
+	// entry and a malformed payload fails at submission, not mid-job.
+	var specFile *wspec.File
+	if s.Specs != "" {
+		f, err := wspec.Parse([]byte(s.Specs))
+		if err != nil {
+			return s, err
+		}
+		specFile = f
+		s.Specs = f.Canonical()
 	}
 	switch s.Kind {
 	case KindExperiment:
 		if s.Workload != "" || s.Config != "" {
 			return s, fmt.Errorf("experiment spec must not set workload/config")
+		}
+		if s.Specs != "" {
+			return s, fmt.Errorf("experiment results never depend on workload specs: drop specs")
 		}
 		if s.Exp == "all" {
 			return s, fmt.Errorf("exp %q is client-side sugar: submit one job per experiment id", s.Exp)
@@ -76,7 +104,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.Exp != "" {
 			return s, fmt.Errorf("sim spec must not set exp")
 		}
-		if _, err := workload.Get(s.Workload); err != nil {
+		if err := s.resolveSimWorkload(specFile); err != nil {
 			return s, err
 		}
 		if s.Config == "" {
@@ -85,8 +113,15 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if _, err := configByName(s.Config); err != nil {
 			return s, err
 		}
+	case KindSweep:
+		if s.Exp != "" || s.Workload != "" || s.Config != "" {
+			return s, fmt.Errorf("sweep spec must not set exp/workload/config")
+		}
+		if s.Specs == "" {
+			return s, fmt.Errorf("sweep spec needs a specs payload (a wspec workload-spec document)")
+		}
 	default:
-		return s, fmt.Errorf("spec needs exactly one of exp (experiment) or workload (sim)")
+		return s, fmt.Errorf("spec needs exactly one of exp (experiment), workload (sim) or specs (sweep)")
 	}
 	if s.Scale == 0 {
 		s.Scale = experiments.DefaultOptions().Scale
@@ -115,6 +150,40 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	return s, nil
 }
 
+// resolveSimWorkload checks the sim kind's workload name. A built-in
+// always resolves. A generated name must come with its definition: either
+// the submission already carries it in Specs, or the daemon loaded it at
+// startup (-spec) and its definition is folded into Specs here — either
+// way the cache key ends up covering the workload's content, so two
+// specs reusing a name can never alias each other's results.
+func (s *JobSpec) resolveSimWorkload(specFile *wspec.File) error {
+	for _, n := range workload.Names() {
+		if n == s.Workload {
+			return nil
+		}
+	}
+	if specFile != nil {
+		for _, n := range specFile.Names() {
+			if n == s.Workload {
+				return nil
+			}
+		}
+		return fmt.Errorf("workload %q is not defined by the submitted specs payload", s.Workload)
+	}
+	if def, ok := wspec.Lookup(s.Workload); ok {
+		f := wspec.File{Version: wspec.Version, Workloads: []wspec.Spec{def}}
+		s.Specs = f.Canonical()
+		return nil
+	}
+	_, err := workload.Get(s.Workload)
+	if err == nil {
+		// Registered in-process but not through wspec: no definition to
+		// carry, so refuse rather than cache under an unsound key.
+		return fmt.Errorf("workload %q has no spec definition to key the result by", s.Workload)
+	}
+	return err
+}
+
 // Key returns the spec's content address: a hex SHA-256 over the
 // canonical JSON of the normalized spec, the module version (a daemon
 // built from different code is a different result space) and the result
@@ -135,12 +204,24 @@ func (s JobSpec) Key() string {
 
 // Title renders the spec for logs and job listings.
 func (s JobSpec) Title() string {
-	if s.Kind == KindSim {
+	switch s.Kind {
+	case KindSim:
 		return fmt.Sprintf("sim %s on %s (scale %d, seed %d, shards %d)",
 			s.Workload, s.Config, s.Scale, s.Seed, s.Shards)
+	case KindSweep:
+		return fmt.Sprintf("sweep over %d spec workloads (scale %d, seed %d, shards %d)",
+			s.specWorkloadCount(), s.Scale, s.Seed, s.Shards)
 	}
 	return fmt.Sprintf("experiment %s (scale %d, seed %d, shards %d)",
 		s.Exp, s.Scale, s.Seed, s.Shards)
+}
+
+func (s JobSpec) specWorkloadCount() int {
+	f, err := wspec.Parse([]byte(s.Specs))
+	if err != nil {
+		return 0
+	}
+	return len(f.Workloads)
 }
 
 // Result is the servable outcome of a job: rendered-table inputs for

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"specvec/internal/experiments"
+	"specvec/internal/workload"
+	"specvec/internal/wspec"
+)
+
+const sweepSpecYAML = `
+wspec: 1
+workloads:
+  - name: gen.srv
+    seed: 9
+    blocks:
+      - gen: stride
+        elems: 256
+        stride: 4
+      - gen: branch
+        count: 256
+        entropy: 50
+`
+
+// A differently-formatted JSON rendering of the same spec content.
+const sweepSpecJSON = `{"workloads":[{"seed":9,"name":"gen.srv",` +
+	`"blocks":[{"stride":4,"gen":"stride","elems":256},{"entropy":50,"count":256,"gen":"branch"}]}],"wspec":1}`
+
+// TestServedSpecSweep pins the sweep kind: a sweep job over a spec
+// payload serves tables byte-identical to a local SpecSweep at the same
+// scale/seed, and resubmitting the same content in different formatting
+// is a cache hit, not a new simulation.
+func TestServedSpecSweep(t *testing.T) {
+	const scale = 20_000
+	s, ts := testServer(t, Options{})
+
+	view, code := postJob(t, ts.URL, JobSpec{Kind: KindSweep, Specs: sweepSpecYAML, Scale: scale}, true)
+	if code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	res := decodeResult(t, view)
+	if view.CacheHit {
+		t.Error("first submission claims a cache hit")
+	}
+
+	f, err := wspec.Parse([]byte(sweepSpecYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := map[string]workload.Benchmark{}
+	for _, w := range f.Workloads {
+		compiled[w.Name] = wspec.CompileSpec(w)
+	}
+	r := experiments.NewRunner(experiments.Options{
+		Scale: scale, Seed: 1, Workers: 2,
+		Workloads: func(n string) (workload.Benchmark, error) {
+			if b, ok := compiled[n]; ok {
+				return b, nil
+			}
+			return workload.Get(n)
+		},
+	})
+	tables, err := experiments.SpecSweep(r, f.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(tables)
+	if got := renderAll(res.Tables); got != want {
+		t.Fatalf("served sweep diverges from local run:\n--- local ---\n%s\n--- served ---\n%s", want, got)
+	}
+
+	// Same content, different formatting: the canonical form keys the
+	// cache, so this must be a hit and must not simulate.
+	before := s.sched.sims.Load()
+	again, _ := postJob(t, ts.URL, JobSpec{Kind: KindSweep, Specs: sweepSpecJSON, Scale: scale}, true)
+	res2 := decodeResult(t, again)
+	if !again.CacheHit {
+		t.Errorf("reformatted resubmission missed the cache (source %s)", again.Source)
+	}
+	if renderAll(res2.Tables) != want {
+		t.Error("cached sweep tables diverge")
+	}
+	if after := s.sched.sims.Load(); after != before {
+		t.Errorf("cache hit ran %d simulations", after-before)
+	}
+
+	// Different seed: a different result space.
+	seeded, _ := postJob(t, ts.URL, JobSpec{Kind: KindSweep, Specs: sweepSpecYAML, Scale: scale, Seed: 2}, true)
+	if seeded.CacheHit {
+		t.Error("different seed served from the seed-1 cache entry")
+	}
+}
+
+// TestSweepSpecValidation pins Normalize's handling of the specs payload.
+func TestSweepSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"sweep without specs", JobSpec{Kind: KindSweep}},
+		{"sweep with workload", JobSpec{Kind: KindSweep, Specs: sweepSpecYAML, Workload: "gcc"}},
+		{"experiment with specs", JobSpec{Kind: KindExperiment, Exp: "fig1", Specs: sweepSpecYAML}},
+		{"malformed specs", JobSpec{Kind: KindSweep, Specs: "wspec: [\n"}},
+		{"sim of undefined generated workload", JobSpec{Kind: KindSim, Workload: "gen.ghost", Specs: sweepSpecYAML}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Normalize(); err == nil {
+				t.Error("Normalize accepted an invalid spec")
+			}
+		})
+	}
+
+	// Kind inference: a bare specs payload is a sweep.
+	n, err := JobSpec{Specs: sweepSpecYAML}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != KindSweep {
+		t.Errorf("inferred kind %q, want %q", n.Kind, KindSweep)
+	}
+
+	// A sim job may name a workload defined by its specs payload.
+	sim, err := JobSpec{Kind: KindSim, Workload: "gen.srv", Specs: sweepSpecYAML}.Normalize()
+	if err != nil {
+		t.Fatalf("sim of spec-defined workload rejected: %v", err)
+	}
+	if sim.Specs == "" {
+		t.Error("normalized sim spec dropped its specs payload")
+	}
+}
+
+// TestServedSimOfGeneratedWorkload runs a sim job whose workload exists
+// only in the job's specs payload — no global registration involved.
+func TestServedSimOfGeneratedWorkload(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	view, code := postJob(t, ts.URL,
+		JobSpec{Kind: KindSim, Workload: "gen.srv", Config: "4w-1pV", Scale: 10_000, Specs: sweepSpecYAML}, true)
+	if code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	res := decodeResult(t, view)
+	if res.Stats == nil || res.Stats.Committed == 0 {
+		t.Fatalf("sim of generated workload returned no stats: %+v", res.Stats)
+	}
+}

@@ -100,6 +100,18 @@ func (tc *traceCache) forOptions(o experiments.Options) experiments.TraceStore {
 	return scopedTraces{tc: tc, scope: traceScope(o)}
 }
 
+// forOptionsWith returns the store view for o with an extra scope
+// component. Jobs carrying a workload-spec payload pass a hash of its
+// canonical form, so two specs that reuse a workload name with
+// different definitions can never share a recorded trace.
+func (tc *traceCache) forOptionsWith(o experiments.Options, extra string) experiments.TraceStore {
+	scope := traceScope(o)
+	if extra != "" {
+		scope += "-" + extra
+	}
+	return scopedTraces{tc: tc, scope: scope}
+}
+
 // Load implements experiments.TraceStore: memory first, then the disk
 // tier (promoting a disk hit to memory).
 func (s scopedTraces) Load(bench string) (*trace.Trace, bool) {

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"specvec/internal/isa"
 )
@@ -11,6 +12,9 @@ import (
 type Benchmark struct {
 	Name string
 	FP   bool
+	// Generated marks a workload compiled from a declarative spec
+	// (internal/wspec) rather than one of the built-in Spec95 substitutes.
+	Generated bool
 	// Description summarises the real program this stands in for and the
 	// behaviour the generator reproduces.
 	Description string
@@ -28,11 +32,58 @@ func register(b Benchmark) {
 	registry[b.Name] = b
 }
 
-// Get returns the named benchmark.
+// The generated registry holds spec-compiled workloads added after init.
+// It is separate from the built-in registry so the paper's experiment
+// suite (Names) never changes shape under a loaded spec file, and guarded
+// by a mutex because CLIs and the daemon register at startup while tests
+// exercise registration concurrently.
+var (
+	genMu    sync.Mutex
+	genOrder []string
+	genReg   = map[string]Benchmark{}
+)
+
+// Register adds a generated benchmark to the registry, making it
+// resolvable by Get alongside the built-ins. Registering a name that is
+// already taken — by a built-in or an earlier registration — is an error;
+// callers that support idempotent re-registration (internal/wspec) dedupe
+// by definition identity before calling.
+func Register(b Benchmark) error {
+	if b.Name == "" || b.Build == nil {
+		return fmt.Errorf("workload: registering %q: need a name and a Build function", b.Name)
+	}
+	if _, dup := registry[b.Name]; dup {
+		return fmt.Errorf("workload: %q is a built-in benchmark", b.Name)
+	}
+	genMu.Lock()
+	defer genMu.Unlock()
+	if _, dup := genReg[b.Name]; dup {
+		return fmt.Errorf("workload: duplicate generated benchmark %q", b.Name)
+	}
+	b.Generated = true
+	genReg[b.Name] = b
+	genOrder = append(genOrder, b.Name)
+	return nil
+}
+
+// GeneratedNames returns the registered generated workloads in
+// registration order.
+func GeneratedNames() []string {
+	genMu.Lock()
+	defer genMu.Unlock()
+	return append([]string{}, genOrder...)
+}
+
+// Get returns the named benchmark, built-in or generated.
 func Get(name string) (Benchmark, error) {
-	b, ok := registry[name]
+	if b, ok := registry[name]; ok {
+		return b, nil
+	}
+	genMu.Lock()
+	b, ok := genReg[name]
+	genMu.Unlock()
 	if !ok {
-		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, append(Names(), GeneratedNames()...))
 	}
 	return b, nil
 }
@@ -53,11 +104,17 @@ func FPNames() []string {
 	return []string{"swim", "applu", "turb3d", "fpppp"}
 }
 
-// All returns every benchmark in presentation order.
+// All returns every benchmark in presentation order: the built-in suite
+// first, then generated workloads in registration order.
 func All() []Benchmark {
 	var out []Benchmark
 	for _, n := range Names() {
 		out = append(out, registry[n])
+	}
+	genMu.Lock()
+	defer genMu.Unlock()
+	for _, n := range genOrder {
+		out = append(out, genReg[n])
 	}
 	return out
 }

@@ -1,0 +1,280 @@
+package wspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The strict decoder walks the generic tree produced by parseYAML or the
+// JSON decoder and builds a File, rejecting unknown fields, wrong types
+// and out-of-family generator parameters. Both input formats flow
+// through the same code, so "strict" means the same thing for each.
+
+// decodeFile converts a generic tree into a validated File with every
+// generator default resolved.
+func decodeFile(v any) (*File, error) {
+	obj, err := asObject(v, "spec")
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.allow("wspec", "workloads"); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if f.Version, err = obj.requireInt("wspec"); err != nil {
+		return nil, err
+	}
+	items, err := obj.requireList("workloads")
+	if err != nil {
+		return nil, err
+	}
+	for i, item := range items {
+		w, err := decodeWorkload(item, i)
+		if err != nil {
+			return nil, err
+		}
+		f.Workloads = append(f.Workloads, w)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func decodeWorkload(v any, idx int) (Spec, error) {
+	where := fmt.Sprintf("workload %d", idx)
+	obj, err := asObject(v, where)
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := obj.allow("name", "fp", "seed", "blocks"); err != nil {
+		return Spec{}, err
+	}
+	var w Spec
+	if w.Name, err = obj.requireString("name"); err != nil {
+		return Spec{}, err
+	}
+	if w.FP, _, err = obj.optionalBool("fp"); err != nil {
+		return Spec{}, err
+	}
+	if w.Seed, _, err = obj.optionalInt64("seed"); err != nil {
+		return Spec{}, err
+	}
+	items, err := obj.requireList("blocks")
+	if err != nil {
+		return Spec{}, err
+	}
+	for i, item := range items {
+		b, err := decodeBlock(item, w.Name, i)
+		if err != nil {
+			return Spec{}, err
+		}
+		w.Blocks = append(w.Blocks, b)
+	}
+	return w, nil
+}
+
+// blockFields maps schema keys to Block field setters. Every generator
+// parameter is an int except shuffle; gen itself is handled separately.
+var blockFields = map[string]func(*Block, int){
+	"elems":     func(b *Block, v int) { b.Elems = v },
+	"stride":    func(b *Block, v int) { b.Stride = v },
+	"stores":    func(b *Block, v int) { b.Stores = v },
+	"table":     func(b *Block, v int) { b.Table = v },
+	"span":      func(b *Block, v int) { b.Span = v },
+	"count":     func(b *Block, v int) { b.Count = v },
+	"nodes":     func(b *Block, v int) { b.Nodes = v },
+	"depth":     func(b *Block, v int) { b.Depth = v },
+	"entropy":   func(b *Block, v int) { b.Entropy = v },
+	"distance":  func(b *Block, v int) { b.Distance = v },
+	"fpPercent": func(b *Block, v int) { b.FPPercent = v },
+}
+
+func decodeBlock(v any, wl string, idx int) (Block, error) {
+	where := fmt.Sprintf("workload %q block %d", wl, idx)
+	obj, err := asObject(v, where)
+	if err != nil {
+		return Block{}, err
+	}
+	var b Block
+	if b.Gen, err = obj.requireString("gen"); err != nil {
+		return Block{}, err
+	}
+	g, ok := generators[b.Gen]
+	if !ok {
+		return Block{}, fmt.Errorf("wspec: %s: unknown generator %q (have %v)", where, b.Gen, GeneratorFamilies())
+	}
+	has := map[string]bool{}
+	for _, key := range obj.sortedKeys() {
+		if key == "gen" {
+			continue
+		}
+		if !g.fields[key] {
+			if _, known := blockFields[key]; known || key == "shuffle" {
+				return Block{}, fmt.Errorf("wspec: %s: field %q does not apply to generator %q", where, key, b.Gen)
+			}
+			return Block{}, fmt.Errorf("wspec: %s: unknown field %q", where, key)
+		}
+		has[key] = true
+		if key == "shuffle" {
+			if b.Shuffle, _, err = obj.optionalBool("shuffle"); err != nil {
+				return Block{}, err
+			}
+			continue
+		}
+		n, err := obj.requireInt(key)
+		if err != nil {
+			return Block{}, err
+		}
+		blockFields[key](&b, n)
+	}
+	g.defaults(&b, has)
+	return b, nil
+}
+
+// ---- generic-tree accessors ----
+
+// object wraps a decoded map with a location for error messages.
+type object struct {
+	where string
+	m     map[string]any
+}
+
+func asObject(v any, where string) (object, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return object{}, fmt.Errorf("wspec: %s: want a mapping, got %s", where, typeName(v))
+	}
+	return object{where: where, m: m}, nil
+}
+
+// allow rejects keys outside the given set. The lexicographically first
+// offender is reported so the message is deterministic.
+func (o object) allow(keys ...string) error {
+	ok := map[string]bool{}
+	for _, k := range keys {
+		ok[k] = true
+	}
+	var bad []string
+	for k := range o.m {
+		if !ok[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("wspec: %s: unknown field %q", o.where, bad[0])
+}
+
+func (o object) sortedKeys() []string {
+	keys := make([]string, 0, len(o.m))
+	for k := range o.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (o object) requireString(key string) (string, error) {
+	v, ok := o.m[key]
+	if !ok {
+		return "", fmt.Errorf("wspec: %s: missing required field %q", o.where, key)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("wspec: %s: field %q: want a string, got %s", o.where, key, typeName(v))
+	}
+	return s, nil
+}
+
+func (o object) requireList(key string) ([]any, error) {
+	v, ok := o.m[key]
+	if !ok {
+		return nil, fmt.Errorf("wspec: %s: missing required field %q", o.where, key)
+	}
+	l, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("wspec: %s: field %q: want a list, got %s", o.where, key, typeName(v))
+	}
+	return l, nil
+}
+
+func (o object) requireInt(key string) (int, error) {
+	n, _, err := o.optionalInt64(key)
+	if err != nil {
+		return 0, err
+	}
+	if n < math.MinInt32 || n > math.MaxInt32 {
+		return 0, fmt.Errorf("wspec: %s: field %q: %d overflows", o.where, key, n)
+	}
+	return int(n), nil
+}
+
+func (o object) optionalInt64(key string) (int64, bool, error) {
+	v, ok := o.m[key]
+	if !ok {
+		return 0, false, nil
+	}
+	n, err := toInt64(v)
+	if err != nil {
+		return 0, true, fmt.Errorf("wspec: %s: field %q: %v", o.where, key, err)
+	}
+	return n, true, nil
+}
+
+func (o object) optionalBool(key string) (bool, bool, error) {
+	v, ok := o.m[key]
+	if !ok {
+		return false, false, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, true, fmt.Errorf("wspec: %s: field %q: want a boolean, got %s", o.where, key, typeName(v))
+	}
+	return b, true, nil
+}
+
+// toInt64 accepts the integer representations the two front ends
+// produce: int64 (YAML), json.Number (JSON) and exact float64s.
+func toInt64(v any) (int64, error) {
+	switch n := v.(type) {
+	case int64:
+		return n, nil
+	case json.Number:
+		i, err := n.Int64()
+		if err != nil {
+			return 0, fmt.Errorf("want an integer, got %q", n.String())
+		}
+		return i, nil
+	case float64:
+		if n != math.Trunc(n) || math.Abs(n) > 1<<53 {
+			return 0, fmt.Errorf("want an integer, got %v", n)
+		}
+		return int64(n), nil
+	default:
+		return 0, fmt.Errorf("want an integer, got %s", typeName(v))
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case map[string]any:
+		return "a mapping"
+	case []any:
+		return "a list"
+	case string:
+		return "a string"
+	case bool:
+		return "a boolean"
+	case int64, float64, json.Number:
+		return "a number"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

@@ -1,0 +1,51 @@
+package wspec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec is the robustness half of the spec contract: arbitrary
+// bytes fed to Parse never panic, every rejection is a one-line error,
+// and anything accepted canonicalizes to a fixed point (parsing the
+// canonical form reproduces it byte for byte).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"wspec: 1\nworkloads:\n  - name: gen.t\n    blocks:\n      - gen: stride\n",
+		"wspec: 1\nworkloads:\n  - name: gen.t\n    seed: 7\n    fp: true\n    blocks:\n      - gen: mix\n        count: 64\n        fpPercent: 50\n",
+		"wspec: 1\nworkloads:\n  - name: gen.t\n    blocks:\n      - gen: chase\n        nodes: 32\n        shuffle: true\n      - gen: branch\n        entropy: 100\n",
+		`{"wspec":1,"workloads":[{"name":"gen.t","blocks":[{"gen":"gather","table":16,"span":64}]}]}`,
+		`{"wspec":1,"workloads":[{"name":"gen.t","blocks":[{"gen":"depchain","distance":16}]}]}`,
+		"wspec: 1\nworkloads:\n  - name: \"gen.q\" # comment\n    blocks:\n      - gen: stride\n        stride: 0\n",
+		"wspec: 2\nworkloads: []\n",
+		"not: even: close\n",
+		"- just\n- a\n- list\n",
+		"{]",
+		"\twspec: 1\n",
+		"wspec: 1\nworkloads: [inline, flow]\n",
+		"",
+		"\x00\xff\xfe",
+		strings.Repeat("a", 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data) // must never panic
+		if err != nil {
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("multi-line error: %q", err.Error())
+			}
+			return
+		}
+		// Accepted input: the canonical form must be a fixed point.
+		canon := spec.Canonical()
+		again, err := Parse([]byte(canon))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if got := again.Canonical(); got != canon {
+			t.Fatalf("canonical form not a fixed point:\n%s\n%s", canon, got)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package wspec_test
+
+// Golden-spec tests: every example spec under examples/workloads parses,
+// compiles and sweeps to a pinned headline table. The goldens pin the
+// whole chain — YAML parsing, defaults, program generation, trace
+// recording, timing simulation, table rendering — the way
+// TestServedExperimentByteIdentical pins the served experiment path.
+// Regenerate with: go test ./internal/wspec -run TestGoldenSpecs -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specvec/internal/experiments"
+	"specvec/internal/workload"
+	"specvec/internal/wspec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goldenScale = 20_000
+
+func TestGoldenSpecs(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "workloads", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("want at least 4 example specs, found %d", len(paths))
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".yaml")
+		t.Run(name, func(t *testing.T) {
+			f, err := wspec.ParseFile(path)
+			if err != nil {
+				t.Fatalf("example spec rejected: %v", err)
+			}
+			compiled := map[string]workload.Benchmark{}
+			for _, w := range f.Workloads {
+				compiled[w.Name] = wspec.CompileSpec(w)
+			}
+			r := experiments.NewRunner(experiments.Options{
+				Scale: goldenScale, Seed: 1,
+				Workloads: func(n string) (workload.Benchmark, error) {
+					if b, ok := compiled[n]; ok {
+						return b, nil
+					}
+					return workload.Get(n)
+				},
+			})
+			tables, err := experiments.SpecSweep(r, f.Names())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, tab := range tables {
+				sb.WriteString(tab.Render())
+				sb.WriteString("\n")
+			}
+			got := sb.String()
+			goldenPath := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("sweep output diverged from golden %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}

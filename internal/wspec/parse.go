@@ -1,0 +1,66 @@
+package wspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Parse decodes a workload-spec file from YAML or JSON. The format is
+// sniffed from the first non-space byte: `{` selects JSON, anything else
+// the YAML subset. Both paths feed the same strict decoder, so unknown
+// fields, type mismatches and out-of-range parameters are rejected
+// identically, always with a one-line error.
+func Parse(data []byte) (*File, error) {
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("wspec: input %d bytes exceeds the %d-byte limit", len(data), maxSpecBytes)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("wspec: empty spec document")
+	}
+	var (
+		tree any
+		err  error
+	)
+	if trimmed[0] == '{' {
+		tree, err = parseJSON(trimmed)
+	} else {
+		tree, err = parseYAML(data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeFile(tree)
+}
+
+// ParseFile reads and parses the spec at path, prefixing errors with the
+// file name so multi-file CLI flags stay diagnosable.
+func ParseFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wspec: %v", err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return f, nil
+}
+
+// parseJSON decodes one JSON object into the generic tree, preserving
+// integer precision via json.Number and rejecting trailing content.
+func parseJSON(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("json: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("json: trailing content after the spec object")
+	}
+	return v, nil
+}

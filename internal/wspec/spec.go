@@ -1,0 +1,375 @@
+package wspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"specvec/internal/workload"
+)
+
+// Version is the schema version this package reads and writes. The
+// version is part of the spec file (`wspec: 1`) and therefore of every
+// canonical encoding and cache key derived from one.
+const Version = 1
+
+// Bounds on spec shape. They exist so a fuzzer (or a typo) cannot ask a
+// generator for gigabytes of embedded data: every limit is far above
+// anything a realistic workload needs.
+const (
+	maxWorkloads = 64
+	maxBlocks    = 64
+	maxElems     = 1 << 20
+	maxStride    = 64
+	maxDistance  = 16
+	maxNameLen   = 64
+)
+
+// File is one parsed workload-spec file.
+type File struct {
+	Version   int    `json:"wspec"`
+	Workloads []Spec `json:"workloads"`
+}
+
+// Spec is one named workload: a composition of generator blocks executed
+// in order inside a shared outer loop, exactly like the hand-written
+// benchmarks in internal/workload.
+type Spec struct {
+	// Name identifies the workload in CLIs, job specs and tables. It must
+	// be lowercase, start with a letter and not collide with a built-in
+	// benchmark name.
+	Name string `json:"name"`
+	// FP classifies the workload for INT/FP aggregate rows.
+	FP bool `json:"fp,omitempty"`
+	// Seed is mixed into the runner's seed, so two workloads with
+	// identical blocks still embed distinct data.
+	Seed int64 `json:"seed,omitempty"`
+	// Blocks are the generator phases, executed in order.
+	Blocks []Block `json:"blocks"`
+}
+
+// Block is one parameterized generator phase. Gen selects the family;
+// only that family's parameters may be set (the decoder rejects the
+// rest), and zero parameters resolve to the documented defaults.
+type Block struct {
+	// Gen is the generator family: stride, gather, scatter, chase,
+	// branch, depchain or mix.
+	Gen string `json:"gen"`
+
+	// stride: walk Elems words at Stride elements per step (0 = the same
+	// address every step), accumulating loads; then store back into a
+	// separate array over Stores percent of the walked elements.
+	Elems  int `json:"elems,omitempty"`
+	Stride int `json:"stride,omitempty"`
+	Stores int `json:"stores,omitempty"`
+
+	// gather/scatter: Count probes through a Table-entry index array into
+	// a Span-word target (loads for gather, stores for scatter). Index
+	// values are seed-random, so the probe addresses never gain stride
+	// confidence.
+	Table int `json:"table,omitempty"`
+	Span  int `json:"span,omitempty"`
+	Count int `json:"count,omitempty"`
+
+	// chase: walk a linked list of Nodes cells for Depth steps (0 = the
+	// whole list). Shuffle links the cells in a seed-random cycle instead
+	// of address order, turning a learnable stride into a true pointer
+	// chase.
+	Nodes   int  `json:"nodes,omitempty"`
+	Depth   int  `json:"depth,omitempty"`
+	Shuffle bool `json:"shuffle,omitempty"`
+
+	// branch: Count data-dependent branches; Entropy percent of them take
+	// a seed-random direction, the rest fall through (0 = perfectly
+	// predictable, 100 = coin flips).
+	Entropy int `json:"entropy,omitempty"`
+
+	// depchain: Count accumulations with loop-carried dependence
+	// Distance: the chain is split over Distance rotating accumulators,
+	// so iteration i depends on iteration i-Distance.
+	Distance int `json:"distance,omitempty"`
+
+	// mix: Count iterations each issuing eight arithmetic slots,
+	// FPPercent of them floating-point.
+	FPPercent int `json:"fpPercent,omitempty"`
+}
+
+// generator describes one family: which Block fields it may set and the
+// defaults filled into absent ones. Field names here are the JSON/YAML
+// keys; has reports whether a key appeared in the source, so an explicit
+// zero (e.g. stride: 0, the stride-0 pattern) survives defaulting.
+type generator struct {
+	fields   map[string]bool
+	defaults func(b *Block, has map[string]bool)
+	validate func(*Block) error
+}
+
+func pctRange(name string, v int) error {
+	if v < 0 || v > 100 {
+		return fmt.Errorf("%s %d out of range [0,100]", name, v)
+	}
+	return nil
+}
+
+func sizeRange(name string, v, min int) error {
+	if v < min || v > maxElems {
+		return fmt.Errorf("%s %d out of range [%d,%d]", name, v, min, maxElems)
+	}
+	return nil
+}
+
+var generators = map[string]generator{
+	"stride": {
+		fields: map[string]bool{"elems": true, "stride": true, "stores": true},
+		defaults: func(b *Block, has map[string]bool) {
+			if b.Elems == 0 {
+				b.Elems = 1024
+			}
+			if !has["stride"] {
+				b.Stride = 1
+			}
+		},
+		validate: func(b *Block) error {
+			if err := sizeRange("elems", b.Elems, 1); err != nil {
+				return err
+			}
+			if b.Stride < 0 || b.Stride > maxStride {
+				return fmt.Errorf("stride %d out of range [0,%d]", b.Stride, maxStride)
+			}
+			if foot := (b.Elems-1)*b.Stride + 1; foot > maxElems {
+				return fmt.Errorf("elems %d x stride %d spans %d words, over the %d-word limit", b.Elems, b.Stride, foot, maxElems)
+			}
+			return pctRange("stores", b.Stores)
+		},
+	},
+	"gather": {
+		fields:   map[string]bool{"table": true, "span": true, "count": true},
+		defaults: defaultProbe,
+		validate: validateProbe,
+	},
+	"scatter": {
+		fields:   map[string]bool{"table": true, "span": true, "count": true},
+		defaults: defaultProbe,
+		validate: validateProbe,
+	},
+	"chase": {
+		fields: map[string]bool{"nodes": true, "depth": true, "shuffle": true},
+		defaults: func(b *Block, has map[string]bool) {
+			if b.Nodes == 0 {
+				b.Nodes = 1024
+			}
+			if b.Depth == 0 {
+				b.Depth = b.Nodes - 1
+			}
+		},
+		validate: func(b *Block) error {
+			if err := sizeRange("nodes", b.Nodes, 2); err != nil {
+				return err
+			}
+			return sizeRange("depth", b.Depth, 1)
+		},
+	},
+	"branch": {
+		fields: map[string]bool{"count": true, "entropy": true},
+		defaults: func(b *Block, has map[string]bool) {
+			if b.Count == 0 {
+				b.Count = 1024
+			}
+		},
+		validate: func(b *Block) error {
+			if err := sizeRange("count", b.Count, 1); err != nil {
+				return err
+			}
+			return pctRange("entropy", b.Entropy)
+		},
+	},
+	"depchain": {
+		fields: map[string]bool{"count": true, "distance": true},
+		defaults: func(b *Block, has map[string]bool) {
+			if b.Count == 0 {
+				b.Count = 1024
+			}
+			if b.Distance == 0 {
+				b.Distance = 1
+			}
+		},
+		validate: func(b *Block) error {
+			if err := sizeRange("count", b.Count, 1); err != nil {
+				return err
+			}
+			if b.Distance < 1 || b.Distance > maxDistance {
+				return fmt.Errorf("distance %d out of range [1,%d]", b.Distance, maxDistance)
+			}
+			return nil
+		},
+	},
+	"mix": {
+		fields: map[string]bool{"count": true, "fpPercent": true},
+		defaults: func(b *Block, has map[string]bool) {
+			if b.Count == 0 {
+				b.Count = 1024
+			}
+		},
+		validate: func(b *Block) error {
+			if err := sizeRange("count", b.Count, 1); err != nil {
+				return err
+			}
+			return pctRange("fpPercent", b.FPPercent)
+		},
+	},
+}
+
+// MarshalJSON emits every field of the block's generator family
+// explicitly, in schema order. omitempty would drop an explicit zero
+// (stride: 0) and let the default (1) re-apply on the next parse — the
+// canonical form must be a fixed point, and two different specs must
+// never share one.
+func (b Block) MarshalJSON() ([]byte, error) {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, `{"gen":%q`, b.Gen)
+	field := func(name string, v int) { fmt.Fprintf(&sb, `,%q:%d`, name, v) }
+	switch b.Gen {
+	case "stride":
+		field("elems", b.Elems)
+		field("stride", b.Stride)
+		field("stores", b.Stores)
+	case "gather", "scatter":
+		field("table", b.Table)
+		field("span", b.Span)
+		field("count", b.Count)
+	case "chase":
+		field("nodes", b.Nodes)
+		field("depth", b.Depth)
+		fmt.Fprintf(&sb, `,"shuffle":%v`, b.Shuffle)
+	case "branch":
+		field("count", b.Count)
+		field("entropy", b.Entropy)
+	case "depchain":
+		field("count", b.Count)
+		field("distance", b.Distance)
+	case "mix":
+		field("count", b.Count)
+		field("fpPercent", b.FPPercent)
+	}
+	sb.WriteByte('}')
+	return sb.Bytes(), nil
+}
+
+func defaultProbe(b *Block, has map[string]bool) {
+	if b.Table == 0 {
+		b.Table = 512
+	}
+	if b.Span == 0 {
+		b.Span = 4096
+	}
+	if b.Count == 0 {
+		b.Count = b.Table
+	}
+}
+
+func validateProbe(b *Block) error {
+	if err := sizeRange("table", b.Table, 1); err != nil {
+		return err
+	}
+	if err := sizeRange("span", b.Span, 1); err != nil {
+		return err
+	}
+	return sizeRange("count", b.Count, 1)
+}
+
+// GeneratorFamilies returns the known generator names in a fixed order
+// (for docs and error messages).
+func GeneratorFamilies() []string {
+	return []string{"stride", "gather", "scatter", "chase", "branch", "depchain", "mix"}
+}
+
+// validName reports whether a workload name fits the schema: lowercase,
+// leading letter, then letters/digits/._- up to maxNameLen.
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return false
+	}
+	if name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the parsed file, resolves every generator default in
+// place and rejects anything out of schema with a one-line error.
+func (f *File) validate() error {
+	if f.Version != Version {
+		return fmt.Errorf("wspec: unsupported version %d (want wspec: %d)", f.Version, Version)
+	}
+	if len(f.Workloads) == 0 {
+		return fmt.Errorf("wspec: empty spec: no workloads defined")
+	}
+	if len(f.Workloads) > maxWorkloads {
+		return fmt.Errorf("wspec: %d workloads exceeds the limit of %d", len(f.Workloads), maxWorkloads)
+	}
+	builtins := map[string]bool{}
+	for _, n := range workload.Names() {
+		builtins[n] = true
+	}
+	seen := map[string]bool{}
+	for wi := range f.Workloads {
+		w := &f.Workloads[wi]
+		switch {
+		case !validName(w.Name):
+			return fmt.Errorf("wspec: workload %d: invalid name %q (want lowercase [a-z][a-z0-9._-]{0,%d})", wi, w.Name, maxNameLen-1)
+		case w.Name == "all":
+			return fmt.Errorf("wspec: workload %d: name %q is reserved by the CLIs", wi, w.Name)
+		case builtins[w.Name]:
+			return fmt.Errorf("wspec: workload %q collides with a built-in benchmark", w.Name)
+		case seen[w.Name]:
+			return fmt.Errorf("wspec: duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if len(w.Blocks) == 0 {
+			return fmt.Errorf("wspec: workload %q: no generator blocks", w.Name)
+		}
+		if len(w.Blocks) > maxBlocks {
+			return fmt.Errorf("wspec: workload %q: %d blocks exceeds the limit of %d", w.Name, len(w.Blocks), maxBlocks)
+		}
+		for bi := range w.Blocks {
+			b := &w.Blocks[bi]
+			g, ok := generators[b.Gen]
+			if !ok {
+				return fmt.Errorf("wspec: workload %q block %d: unknown generator %q (have %v)", w.Name, bi, b.Gen, GeneratorFamilies())
+			}
+			if err := g.validate(b); err != nil {
+				return fmt.Errorf("wspec: workload %q block %d (%s): %v", w.Name, bi, b.Gen, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Canonical renders the validated file as normalized JSON: schema-ordered
+// fields, defaults resolved, no insignificant whitespace. Two spec files
+// that differ only in formatting, key order or omitted defaults share a
+// canonical form — and therefore a cache key.
+func (f *File) Canonical() string {
+	b, err := json.Marshal(f)
+	if err != nil {
+		// File is plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("wspec: marshalling File: %v", err))
+	}
+	return string(b)
+}
+
+// Names returns the workload names in file order.
+func (f *File) Names() []string {
+	out := make([]string, len(f.Workloads))
+	for i, w := range f.Workloads {
+		out[i] = w.Name
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package wspec
+
+import (
+	"strings"
+	"testing"
+)
+
+const yamlMinimal = `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+`
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestDefaultsResolved(t *testing.T) {
+	f := mustParse(t, yamlMinimal)
+	b := f.Workloads[0].Blocks[0]
+	if b.Elems != 1024 || b.Stride != 1 {
+		t.Fatalf("stride defaults: got elems=%d stride=%d, want 1024/1", b.Elems, b.Stride)
+	}
+
+	// An explicit stride: 0 is the stride-0 pattern, not "use the default".
+	f = mustParse(t, `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+        stride: 0
+`)
+	if got := f.Workloads[0].Blocks[0].Stride; got != 0 {
+		t.Fatalf("explicit stride 0 resolved to %d", got)
+	}
+
+	f = mustParse(t, `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: gather
+      - gen: chase
+      - gen: depchain
+`)
+	blocks := f.Workloads[0].Blocks
+	if b := blocks[0]; b.Table != 512 || b.Span != 4096 || b.Count != 512 {
+		t.Fatalf("gather defaults: %+v", b)
+	}
+	if b := blocks[1]; b.Nodes != 1024 || b.Depth != 1023 {
+		t.Fatalf("chase defaults: %+v", b)
+	}
+	if b := blocks[2]; b.Count != 1024 || b.Distance != 1 {
+		t.Fatalf("depchain defaults: %+v", b)
+	}
+}
+
+func TestYAMLAndJSONEquivalent(t *testing.T) {
+	jsonSrc := `{"wspec":1,"workloads":[{"name":"gen.t","blocks":[{"gen":"stride"}]}]}`
+	yf := mustParse(t, yamlMinimal)
+	jf := mustParse(t, jsonSrc)
+	if yf.Canonical() != jf.Canonical() {
+		t.Fatalf("canonical forms differ:\nyaml: %s\njson: %s", yf.Canonical(), jf.Canonical())
+	}
+}
+
+func TestCanonicalIgnoresFormatting(t *testing.T) {
+	a := mustParse(t, `
+wspec: 1
+workloads:
+  - name: "gen.t"   # quoted, commented
+    seed: 7
+    blocks:
+      - gen: stride
+        stride: 2
+        elems: 1024
+`)
+	b := mustParse(t, `
+wspec: 1
+workloads:
+  - blocks:
+      - elems: 1024
+        gen: stride
+        stride: 2
+    seed: 7
+    name: gen.t
+`)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("formatting leaked into canonical form:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestStrictRejections(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown top-level field", `
+wspec: 1
+extra: true
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+`, `unknown field "extra"`},
+		{"unknown workload field", `
+wspec: 1
+workloads:
+  - name: gen.t
+    speed: 9
+    blocks:
+      - gen: stride
+`, `unknown field "speed"`},
+		{"unknown block field", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+        bogus: 1
+`, `unknown field "bogus"`},
+		{"wrong-family field", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+        entropy: 50
+`, `does not apply to generator "stride"`},
+		{"unknown generator", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: warp
+`, `unknown generator "warp"`},
+		{"bad version", `
+wspec: 2
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+`, "unsupported version 2"},
+		{"no workloads", `{"wspec":1,"workloads":[]}`, "no workloads defined"},
+		{"builtin collision", `
+wspec: 1
+workloads:
+  - name: gcc
+    blocks:
+      - gen: stride
+`, "collides with a built-in"},
+		{"duplicate names", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+  - name: gen.t
+    blocks:
+      - gen: branch
+`, `duplicate workload name "gen.t"`},
+		{"reserved name", `
+wspec: 1
+workloads:
+  - name: all
+    blocks:
+      - gen: stride
+`, "reserved"},
+		{"bad name", `
+wspec: 1
+workloads:
+  - name: Gen T
+    blocks:
+      - gen: stride
+`, "invalid name"},
+		{"range violation", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+        stride: 65
+`, "out of range"},
+		{"footprint violation", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+        elems: 1048576
+        stride: 64
+`, "over the"},
+		{"entropy percent", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: branch
+        entropy: 101
+`, "out of range [0,100]"},
+		{"type mismatch", `
+wspec: 1
+workloads:
+  - name: gen.t
+    blocks:
+      - gen: stride
+        elems: lots
+`, "want an integer"},
+		{"tab indentation", "wspec: 1\n\tworkloads: []\n", "tab in indentation"},
+		{"flow syntax", `
+wspec: 1
+workloads: [a, b]
+`, "unsupported YAML syntax"},
+		{"empty document", "   \n\n", "empty spec document"},
+		{"json trailing content", `{"wspec":1,"workloads":[{"name":"gen.t","blocks":[{"gen":"stride"}]}]} extra`, "trailing content"},
+		{"json unknown field", `{"wspec":1,"workloads":[{"name":"gen.t","nope":1,"blocks":[{"gen":"stride"}]}]}`, `unknown field "nope"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("accepted invalid spec")
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("multi-line error: %q", err.Error())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestAllFamiliesCompileAndRun(t *testing.T) {
+	src := `
+wspec: 1
+workloads:
+  - name: gen.everything
+    blocks:
+      - gen: stride
+        elems: 64
+      - gen: gather
+        table: 32
+        span: 64
+      - gen: scatter
+        table: 32
+        span: 64
+      - gen: chase
+        nodes: 32
+        shuffle: true
+      - gen: branch
+        count: 64
+        entropy: 50
+      - gen: depchain
+        count: 64
+        distance: 4
+      - gen: mix
+        count: 64
+        fpPercent: 50
+`
+	f := mustParse(t, src)
+	b := CompileSpec(f.Workloads[0])
+	if !b.Generated {
+		t.Fatal("compiled benchmark not marked Generated")
+	}
+	prog := b.Build(10_000, 1)
+	if prog == nil || len(prog.Insts) == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+func TestRegisterFileIdempotent(t *testing.T) {
+	src := `
+wspec: 1
+workloads:
+  - name: gen.regtest
+    blocks:
+      - gen: stride
+`
+	f := mustParse(t, src)
+	if err := RegisterFile(f); err != nil {
+		t.Fatalf("first RegisterFile: %v", err)
+	}
+	// Identical definition: a no-op.
+	if err := RegisterFile(mustParse(t, src)); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	if _, ok := Lookup("gen.regtest"); !ok {
+		t.Fatal("Lookup missed a registered workload")
+	}
+	// Conflicting definition behind the same name: an error.
+	conflicting := mustParse(t, `
+wspec: 1
+workloads:
+  - name: gen.regtest
+    blocks:
+      - gen: branch
+`)
+	if err := RegisterFile(conflicting); err == nil {
+		t.Fatal("conflicting re-register accepted")
+	}
+}

@@ -1,0 +1,328 @@
+package wspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the YAML subset workload specs are written in:
+// block-style maps and lists with two-space-per-level indentation,
+// scalars (strings, integers, floats, booleans, null), `#` comments and
+// quoted strings. Flow collections ([a, b] / {k: v}), anchors, tags and
+// multi-line scalars are out of scope — a spec that needs them can use
+// JSON. The parser is fuzzed: it must reject anything outside the subset
+// with a one-line error and never panic.
+
+const (
+	maxSpecBytes = 1 << 20
+	maxYAMLDepth = 16
+)
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func yamlErr(line int, format string, args ...any) error {
+	return fmt.Errorf("yaml line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// parseYAML decodes data into the generic tree (map[string]any, []any,
+// string, int64, float64, bool, nil) shared with the JSON path.
+func parseYAML(data []byte) (any, error) {
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("yaml: input %d bytes exceeds the %d-byte limit", len(data), maxSpecBytes)
+	}
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line, err := splitLine(i+1, raw)
+		if err != nil {
+			return nil, err
+		}
+		if line.text == "" {
+			continue
+		}
+		p.lines = append(p.lines, line)
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, err := p.parseBlock(p.lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, yamlErr(l.num, "unexpected content %q after the document (bad indentation?)", l.text)
+	}
+	return v, nil
+}
+
+// splitLine measures indentation and strips comments and trailing space.
+func splitLine(num int, raw string) (yamlLine, error) {
+	raw = strings.TrimSuffix(raw, "\r")
+	indent := 0
+	for indent < len(raw) && raw[indent] == ' ' {
+		indent++
+	}
+	if indent < len(raw) && raw[indent] == '\t' {
+		return yamlLine{}, yamlErr(num, "tab in indentation (use spaces)")
+	}
+	text := stripComment(raw[indent:])
+	text = strings.TrimRight(text, " \t")
+	if text == "" {
+		return yamlLine{num: num}, nil
+	}
+	return yamlLine{num: num, indent: indent, text: text}, nil
+}
+
+// stripComment removes a trailing `# ...` comment, respecting quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (p *yamlParser) cur() (yamlLine, bool) {
+	if p.pos >= len(p.lines) {
+		return yamlLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses the map or list starting at the current line, which
+// must sit exactly at indent.
+func (p *yamlParser) parseBlock(indent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		l, _ := p.cur()
+		return nil, yamlErr(l.num, "nesting deeper than %d levels", maxYAMLDepth)
+	}
+	l, ok := p.cur()
+	if !ok {
+		return nil, fmt.Errorf("yaml: unexpected end of document")
+	}
+	if l.indent != indent {
+		return nil, yamlErr(l.num, "bad indentation: got %d spaces, want %d", l.indent, indent)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseList(indent, depth)
+	}
+	return p.parseMap(indent, depth)
+}
+
+func (p *yamlParser) parseList(indent, depth int) (any, error) {
+	var out []any
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent != indent || !(strings.HasPrefix(l.text, "- ") || l.text == "-") {
+			if ok && l.indent > indent {
+				return nil, yamlErr(l.num, "bad indentation inside list (got %d spaces, want %d)", l.indent, indent)
+			}
+			return out, nil
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		switch {
+		case rest == "":
+			// `-` alone: the item is the indented block below.
+			p.pos++
+			next, ok := p.cur()
+			if !ok || next.indent <= indent {
+				return nil, yamlErr(l.num, "empty list item")
+			}
+			item, err := p.parseBlock(next.indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		case looksLikeKey(rest):
+			// `- key: ...`: an inline map whose further keys align with
+			// `key` (two columns past the dash).
+			inner := indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = yamlLine{num: l.num, indent: inner, text: rest}
+			item, err := p.parseMap(inner, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+		default:
+			p.pos++
+			v, err := parseScalar(l.num, rest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+}
+
+func (p *yamlParser) parseMap(indent, depth int) (any, error) {
+	out := map[string]any{}
+	for {
+		l, ok := p.cur()
+		if !ok || l.indent != indent {
+			if ok && l.indent > indent {
+				return nil, yamlErr(l.num, "bad indentation inside mapping (got %d spaces, want %d)", l.indent, indent)
+			}
+			if len(out) == 0 {
+				return nil, fmt.Errorf("yaml: empty mapping at end of document")
+			}
+			return out, nil
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, yamlErr(l.num, "list item inside a mapping")
+		}
+		key, rest, err := splitKey(l.num, l.text)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, yamlErr(l.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest == "" {
+			next, ok := p.cur()
+			if !ok || next.indent <= indent {
+				out[key] = nil // `key:` with nothing nested is null
+				continue
+			}
+			v, err := p.parseBlock(next.indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			continue
+		}
+		v, err := parseScalar(l.num, rest)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+}
+
+// looksLikeKey reports whether s begins a `key: value` / `key:` mapping
+// entry (a colon at top level, outside quotes, followed by space or EOL).
+func looksLikeKey(s string) bool {
+	_, _, err := splitKey(0, s)
+	return err == nil
+}
+
+// splitKey splits `key: rest` (rest possibly empty). The key may be
+// quoted; an unquoted key stops at the first colon.
+func splitKey(num int, s string) (string, string, error) {
+	if s == "" {
+		return "", "", yamlErr(num, "empty mapping entry")
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		key, n, err := unquote(num, s)
+		if err != nil {
+			return "", "", err
+		}
+		tail := s[n:]
+		if !strings.HasPrefix(tail, ":") {
+			return "", "", yamlErr(num, "missing ':' after quoted key")
+		}
+		return key, strings.TrimLeft(tail[1:], " "), nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", "", yamlErr(num, "missing ':' in mapping entry %q", s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", yamlErr(num, "missing space after ':' in %q", s)
+	}
+	key := strings.TrimRight(s[:i], " ")
+	if key == "" {
+		return "", "", yamlErr(num, "empty key in %q", s)
+	}
+	return key, strings.TrimLeft(s[i+1:], " "), nil
+}
+
+// unquote reads a leading quoted string and returns it with the number
+// of source bytes consumed.
+func unquote(num int, s string) (string, int, error) {
+	q := s[0]
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case q == '"' && c == '\\':
+			if i+1 >= len(s) {
+				return "", 0, yamlErr(num, "dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"', '\'':
+				sb.WriteByte(s[i])
+			default:
+				return "", 0, yamlErr(num, "unsupported escape \\%c", s[i])
+			}
+		case c == q:
+			if q == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+				sb.WriteByte('\'') // YAML doubles single quotes
+				i++
+				continue
+			}
+			return sb.String(), i + 1, nil
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return "", 0, yamlErr(num, "unterminated quoted string %q", s)
+}
+
+// parseScalar decodes a scalar value: quoted string, boolean, null,
+// integer, float, or a bare string.
+func parseScalar(num int, s string) (any, error) {
+	if s[0] == '"' || s[0] == '\'' {
+		v, n, err := unquote(num, s)
+		if err != nil {
+			return nil, err
+		}
+		if n != len(s) {
+			return nil, yamlErr(num, "trailing content %q after quoted scalar", s[n:])
+		}
+		return v, nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") || strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") {
+		return nil, yamlErr(num, "unsupported YAML syntax %q (flow collections, anchors and block scalars are outside the spec subset; use JSON)", s)
+	}
+	return s, nil
+}
