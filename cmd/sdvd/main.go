@@ -23,6 +23,8 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +50,11 @@ func main() {
 		gang         = flag.Int("gang", 0, "gang replay within each job: 0 = gang all configurations per benchmark walk, 1 = off, K >= 2 caps gang size (results and cache keys unaffected)")
 		specArg      = flag.String("spec", "", "workload-spec file(s) (YAML/JSON, comma-separated): register their generated workloads for /v1/workloads discovery and by-name sim jobs")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+		coordinator  = flag.Bool("coordinator", false, "accept cluster workers (-join) and place replay work across them; results stay byte-identical to a single process")
+		workerRole   = flag.Bool("worker", false, "join a coordinator (-join) and execute shards for it")
+		joinURL      = flag.String("join", "", "coordinator base URL a -worker registers with (e.g. http://127.0.0.1:8077)")
+		advertise    = flag.String("advertise", "", "URL a -worker advertises to the coordinator (default: derived from -addr)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (opt-in; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -85,6 +92,14 @@ func main() {
 	if err := cliutil.ValidateGang(*gang); err != nil {
 		cliutil.Fatal("sdvd", err)
 	}
+	if err := cliutil.ValidateClusterFlags(*coordinator, *workerRole, *joinURL, *advertise); err != nil {
+		cliutil.Fatal("sdvd", err)
+	}
+	if *pprofAddr != "" {
+		if err := cliutil.ValidateListenAddr("pprof", *pprofAddr); err != nil {
+			cliutil.Fatal("sdvd", err)
+		}
+	}
 
 	logf := log.New(os.Stderr, "sdvd: ", log.LstdFlags).Printf
 	if *quiet {
@@ -101,10 +116,28 @@ func main() {
 		SimWorkers:   *workers,
 		Gang:         *gang,
 		Logf:         logf,
+		Coordinator:  *coordinator,
+		Worker:       *workerRole,
+		JoinURL:      *joinURL,
+		AdvertiseURL: *advertise,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		// Profiling binds its own listener so the API surface never carries
+		// /debug/pprof by accident; failures are fatal (an explicitly
+		// requested profiler that silently isn't there is worse than an
+		// early exit).
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			cliutil.Fatal("sdvd", err)
+		}
+		if logf != nil {
+			logf("pprof serving on http://%s/debug/pprof/", ln.Addr())
+		}
+		go func() { _ = http.Serve(ln, server.PprofHandler()) }()
+	}
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		cliutil.Fatal("sdvd", err)
 	}

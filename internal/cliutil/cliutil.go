@@ -6,6 +6,8 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
+	"net/url"
 	"os"
 	"strings"
 )
@@ -85,6 +87,77 @@ func SplitSpecPaths(arg string) ([]string, error) {
 		return nil, FlagError("spec", fmt.Sprintf("%q", arg), "one or more workload-spec file paths")
 	}
 	return out, nil
+}
+
+// ValidateServerURL checks a flag naming a server base URL (sdvexp
+// -server, sdvd -join, -advertise): it must parse as an absolute
+// http(s) URL with a host and no trailing junk a join would silently
+// mangle.
+func ValidateServerURL(name, raw string) error {
+	if raw == "" {
+		return FlagError(name, "\"\"", "an http(s) base URL")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return FlagError(name, fmt.Sprintf("%q", raw), "an absolute http(s) URL")
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return FlagError(name, fmt.Sprintf("%q", raw), "an absolute http(s) URL")
+	}
+	if u.Host == "" {
+		return FlagError(name, fmt.Sprintf("%q", raw), "a URL with a host")
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return FlagError(name, fmt.Sprintf("%q", raw), "a base URL without query or fragment")
+	}
+	return nil
+}
+
+// ValidateClusterFlags checks sdvd's cluster role flags as a set:
+// -coordinator and -worker are mutually exclusive roles, -join is
+// required by (and only meaningful with) -worker, and -advertise only
+// makes sense on a worker. URL values are checked with
+// ValidateServerURL.
+func ValidateClusterFlags(coordinator, worker bool, joinURL, advertiseURL string) error {
+	if coordinator && worker {
+		return fmt.Errorf("invalid flags: -coordinator and -worker are mutually exclusive (a worker joins a coordinator, it is not one)")
+	}
+	if worker && joinURL == "" {
+		return fmt.Errorf("invalid flags: -worker requires -join <coordinator URL>")
+	}
+	if !worker && joinURL != "" {
+		return fmt.Errorf("invalid flags: -join requires -worker")
+	}
+	if !worker && advertiseURL != "" {
+		return fmt.Errorf("invalid flags: -advertise requires -worker")
+	}
+	if joinURL != "" {
+		if err := ValidateServerURL("join", joinURL); err != nil {
+			return err
+		}
+	}
+	if advertiseURL != "" {
+		if err := ValidateServerURL("advertise", advertiseURL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateListenAddr checks a flag naming a listen address (sdvd
+// -pprof): host:port as net.Listen accepts, with a non-empty port.
+func ValidateListenAddr(name, addr string) error {
+	if addr == "" {
+		return FlagError(name, "\"\"", "a host:port listen address")
+	}
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("invalid -%s %q: %v", name, addr, err)
+	}
+	if port == "" {
+		return FlagError(name, fmt.Sprintf("%q", addr), "a listen address with a port")
+	}
+	return nil
 }
 
 // Fatal prints "tool: err" to stderr and exits 1.

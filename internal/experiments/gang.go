@@ -333,6 +333,12 @@ func (r *Runner) gangSim(cfg config.Config, bench string, tc *traceCall, d *trac
 		})
 	}
 	r.replayed.Add(1)
+	if r.opts.Remote != nil {
+		// Remote members do not consume the shared decoded walk — the
+		// worker decodes its own pulled copy — but d stays harmless: it
+		// is lazy, so an all-remote gang never decodes a block locally.
+		return r.remoteReplay(cfg, bench, tc.tr)
+	}
 	if r.opts.Shards > 1 {
 		return r.shardedReplay(cfg, bench, tc.tr, d)
 	}

@@ -97,6 +97,13 @@ type Options struct {
 	// other's generated workloads. Nil means workload.Get: built-ins plus
 	// whatever the process registered at startup (CLI -spec flags).
 	Workloads func(name string) (workload.Benchmark, error)
+	// Remote, when non-nil, dispatches trace-replay simulations — whole
+	// runs and shards alike — to cluster workers (see RemoteShards).
+	// Recording and live-emulation fallbacks stay local. Execution shape
+	// only: replay is deterministic, so results are byte-identical with
+	// and without it, at any worker count, and across worker failures
+	// (the executor requeues a dead node's tasks).
+	Remote RemoteShards
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -565,6 +572,9 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 		})
 	}
 	r.replayed.Add(1)
+	if r.opts.Remote != nil {
+		return r.remoteReplay(cfg, bench, tc.tr)
+	}
 	if r.opts.Shards > 1 {
 		return r.shardedReplay(cfg, bench, tc.tr, nil)
 	}

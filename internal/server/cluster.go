@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specvec/internal/experiments"
+	"specvec/internal/stats"
+	"specvec/internal/trace"
+)
+
+// Cluster mode, coordinator half: workers register (and heartbeat) over
+// the same HTTP API jobs are submitted through, and the coordinator's
+// scheduler places replay work — whole (configuration, benchmark) runs
+// and checkpointed shards — across them instead of only the local
+// worker pool. Trace recordings ship by content address: the
+// coordinator publishes each recording to its artifact store, tasks
+// carry only the address, and a worker pulls the bytes on miss (see
+// worker.go). Failover rides the determinism guarantee: a task on a
+// dead or failing worker is requeued to another node (or run locally)
+// and the re-run is byte-identical, so worker death never changes a
+// sweep's output — only its wall clock.
+
+const (
+	// defaultHeartbeat is how often a worker re-registers; registration
+	// doubles as the heartbeat.
+	defaultHeartbeat = time.Second
+	// defaultWorkerExpiry is how stale a worker's last heartbeat may be
+	// before placement skips it.
+	defaultWorkerExpiry = 5 * time.Second
+	// defaultArtifactEntries bounds the coordinator's in-memory artifact
+	// store (recordings are the big artifacts).
+	defaultArtifactEntries = 32
+)
+
+// workerNode is one registered worker.
+type workerNode struct {
+	id       string
+	url      string // advertised base URL, the registry key
+	cores    int    // advertised simulation slots, the placement weight
+	inflight int    // tasks currently dispatched to it
+	lastSeen time.Time
+	dead     bool // a dispatch failed; revived by the next heartbeat
+}
+
+// score is the load metric placement minimizes: in-flight tasks per
+// advertised core.
+func (w *workerNode) score() float64 {
+	return float64(w.inflight) / float64(max(w.cores, 1))
+}
+
+// Cluster is the coordinator's placement layer. It implements
+// experiments.RemoteShards; the scheduler threads it into every job's
+// runner options.
+type Cluster struct {
+	logf   func(format string, args ...any)
+	expiry time.Duration
+	client *http.Client
+
+	mu      sync.Mutex
+	workers map[string]*workerNode // by advertised URL
+	seq     int
+
+	// Local fallback executes on the coordinator's own cores, bounded
+	// like a worker's simulation pool.
+	localSem      chan struct{}
+	localInflight atomic.Int64
+
+	artifacts *artifactStore
+
+	dispatched atomic.Int64 // tasks entering RunShard
+	remoteRuns atomic.Int64 // tasks completed on a worker
+	localRuns  atomic.Int64 // tasks completed by local fallback
+	requeues   atomic.Int64 // tasks re-placed after a worker failure
+}
+
+func newCluster(localWorkers, artifactEntries int, expiry time.Duration, logf func(string, ...any)) *Cluster {
+	if localWorkers <= 0 {
+		localWorkers = runtime.GOMAXPROCS(0)
+	}
+	if expiry <= 0 {
+		expiry = defaultWorkerExpiry
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Cluster{
+		logf:      logf,
+		expiry:    expiry,
+		client:    &http.Client{}, // no timeout: a shard runs for seconds; contexts bound it
+		workers:   map[string]*workerNode{},
+		localSem:  make(chan struct{}, localWorkers),
+		artifacts: newArtifactStore(artifactEntries),
+	}
+}
+
+// join registers (or heartbeats) a worker by its advertised URL,
+// returning its id. A worker marked dead by a dispatch failure is
+// revived — a restarted process re-joins under the same URL.
+func (c *Cluster) join(rawURL string, cores int) (string, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("worker url %q: want an absolute http(s) URL", rawURL)
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[rawURL]
+	if !ok {
+		c.seq++
+		w = &workerNode{id: fmt.Sprintf("w%03d", c.seq), url: rawURL}
+		c.workers[rawURL] = w
+		c.logf("cluster: worker %s joined from %s (%d cores)", w.id, rawURL, cores)
+	} else if w.dead {
+		c.logf("cluster: worker %s revived by heartbeat", w.id)
+	}
+	w.cores = cores
+	w.lastSeen = time.Now()
+	w.dead = false
+	return w.id, nil
+}
+
+// liveWorkers counts workers placement would currently consider.
+func (c *Cluster) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	now := time.Now()
+	for _, w := range c.workers {
+		if !w.dead && now.Sub(w.lastSeen) <= c.expiry {
+			n++
+		}
+	}
+	return n
+}
+
+// workerViews snapshots the registry for GET /v1/cluster/workers.
+func (c *Cluster) workerViews() []WorkerView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerView{
+			ID: w.id, URL: w.url, Cores: w.cores, Inflight: w.inflight,
+			Live: !w.dead && now.Sub(w.lastSeen) <= c.expiry,
+		})
+	}
+	// Registry order is map order; present deterministically by id.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WorkerView is the wire representation of a registered worker.
+type WorkerView struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Cores    int    `json:"cores"`
+	Inflight int    `json:"inflight"`
+	Live     bool   `json:"live"`
+}
+
+// pick reserves the least-loaded live worker not yet tried for this
+// task, or nil to run locally. The coordinator's own cores compete as
+// one more node; ties go remote so an idle cluster actually spreads.
+func (c *Cluster) pick(tried map[string]bool) *workerNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	var best *workerNode
+	for _, w := range c.workers {
+		if tried[w.url] || w.dead || now.Sub(w.lastSeen) > c.expiry {
+			continue
+		}
+		if best == nil || w.score() < best.score() ||
+			(w.score() == best.score() && w.url < best.url) {
+			best = w
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	local := float64(c.localInflight.Load()) / float64(cap(c.localSem))
+	if best.score() > local {
+		return nil
+	}
+	best.inflight++
+	return best
+}
+
+// release returns a reservation made by pick.
+func (c *Cluster) release(w *workerNode) {
+	c.mu.Lock()
+	w.inflight--
+	c.mu.Unlock()
+}
+
+// fail marks a worker dead after a dispatch failure. Its queued
+// heartbeats revive it; until then placement skips it.
+func (c *Cluster) fail(w *workerNode, err error) {
+	c.mu.Lock()
+	w.dead = true
+	c.mu.Unlock()
+	c.logf("cluster: worker %s (%s) marked dead: %v", w.id, w.url, err)
+}
+
+// RunShard implements experiments.RemoteShards: publish the recording
+// once, then place the task on the least-loaded live worker, requeuing
+// on node failure — determinism makes the re-run byte-identical — and
+// falling back to local execution when no worker can take it. Only
+// context cancellation and genuine simulation errors surface to the
+// caller.
+func (c *Cluster) RunShard(ctx context.Context, task experiments.ShardTask, tr *trace.Trace) (*stats.Sim, error) {
+	c.dispatched.Add(1)
+	id, err := c.artifacts.publish(tr)
+	if err != nil {
+		c.logf("cluster: publishing %s recording failed (%v); running shard locally", task.Bench, err)
+		return c.runLocal(ctx, task, tr)
+	}
+	task.Trace = id
+	tried := map[string]bool{}
+	for {
+		w := c.pick(tried)
+		if w == nil {
+			return c.runLocal(ctx, task, tr)
+		}
+		st, retryable, err := c.post(ctx, w, task)
+		c.release(w)
+		if err == nil {
+			c.remoteRuns.Add(1)
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !retryable {
+			return nil, err
+		}
+		c.fail(w, err)
+		tried[w.url] = true
+		c.requeues.Add(1)
+		c.logf("cluster: requeuing %s/%s shard @%d after failure on %s", task.Cfg.Name, task.Bench, task.ReplayFrom, w.url)
+	}
+}
+
+// post dispatches one task to a worker. The second return reports
+// whether a failure is the node's fault (network error, 5xx — requeue
+// elsewhere) rather than the task's (4xx — the task would fail
+// anywhere, surface it).
+func (c *Cluster) post(ctx context.Context, w *workerNode, task experiments.ShardTask) (*stats.Sim, bool, error) {
+	body, err := json.Marshal(task)
+	if err != nil {
+		return nil, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("worker %s: HTTP %d: %s", w.id, resp.StatusCode, apiErrorText(payload))
+		return nil, resp.StatusCode < 400 || resp.StatusCode >= 500, err
+	}
+	st := stats.New()
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, true, fmt.Errorf("worker %s: decoding shard result: %w", w.id, err)
+	}
+	return st, false, nil
+}
+
+// runLocal executes a task on the coordinator's own cores, bounded by
+// the local semaphore — the fallback that keeps a cluster of one (or a
+// cluster whose workers all died) fully functional.
+func (c *Cluster) runLocal(ctx context.Context, task experiments.ShardTask, tr *trace.Trace) (*stats.Sim, error) {
+	select {
+	case c.localSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.localInflight.Add(1)
+	defer func() {
+		c.localInflight.Add(-1)
+		<-c.localSem
+	}()
+	c.localRuns.Add(1)
+	return experiments.ExecuteShardTask(ctx, task, tr)
+}
+
+// apiErrorText extracts the uniform error body, falling back to the
+// raw payload.
+func apiErrorText(payload []byte) string {
+	var e apiError
+	if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(payload))
+}
+
+// artifactStore holds encoded trace recordings by content address so
+// workers can pull them. Publication memoizes by trace identity — a
+// sweep publishes each recording once, not once per task — and the
+// live *trace.Trace is retained alongside the bytes so local fallback
+// never re-decodes.
+type artifactStore struct {
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List              // front = most recently used
+	byTrace map[*trace.Trace]string // publish memo
+
+	published atomic.Int64
+	pulls     atomic.Int64 // artifact GETs served to workers
+}
+
+type artifactEntry struct {
+	id  string
+	enc []byte
+	tr  *trace.Trace
+}
+
+func newArtifactStore(maxEntries int) *artifactStore {
+	if maxEntries <= 0 {
+		maxEntries = defaultArtifactEntries
+	}
+	return &artifactStore{
+		maxEntries: maxEntries,
+		entries:    map[string]*list.Element{},
+		order:      list.New(),
+		byTrace:    map[*trace.Trace]string{},
+	}
+}
+
+// publish encodes tr (once per trace) and stores the bytes under their
+// content address.
+func (s *artifactStore) publish(tr *trace.Trace) (string, error) {
+	s.mu.Lock()
+	if id, ok := s.byTrace[tr]; ok {
+		s.mu.Unlock()
+		return id, nil
+	}
+	s.mu.Unlock()
+	// Encode outside the lock: recordings run to megabytes. A concurrent
+	// duplicate publish of the same trace encodes twice and converges on
+	// the same content address — wasteful but correct, and the memo makes
+	// it rare.
+	enc, err := tr.EncodeBytes()
+	if err != nil {
+		return "", err
+	}
+	id := trace.ContentID(enc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byTrace[tr] = id
+	if el, ok := s.entries[id]; ok {
+		s.order.MoveToFront(el)
+		return id, nil
+	}
+	s.entries[id] = s.order.PushFront(&artifactEntry{id: id, enc: enc, tr: tr})
+	s.published.Add(1)
+	for s.order.Len() > s.maxEntries {
+		tail := s.order.Back()
+		e := tail.Value.(*artifactEntry)
+		s.order.Remove(tail)
+		delete(s.entries, e.id)
+		delete(s.byTrace, e.tr)
+	}
+	return id, nil
+}
+
+// get returns the encoded artifact, counting the pull.
+func (s *artifactStore) get(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*artifactEntry).enc, true
+}
+
+// len reports stored artifact count.
+func (s *artifactStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

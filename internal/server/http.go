@@ -29,7 +29,80 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+		mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
+		mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
+	}
+	if s.agent != nil {
+		mux.HandleFunc("POST /v1/shards", s.handleShard)
+	}
 	return mux
+}
+
+// handleClusterJoin registers (or heartbeats) a worker on the
+// coordinator.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding join request: %v", err)
+		return
+	}
+	id, err := s.cluster.join(req.URL, req.Cores)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id})
+}
+
+// handleClusterWorkers lists the registered workers.
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.workerViews())
+}
+
+// handleArtifact serves an encoded trace recording by content address.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	enc, ok := s.cluster.artifacts.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown artifact %.12s…", id)
+		return
+	}
+	s.cluster.artifacts.pulls.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(enc)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(enc)
+}
+
+// handleShard executes one replay interval on a worker and returns its
+// statistics. Failures map to the requeue contract: a 4xx means the
+// task itself is bad (it would fail on any node — the coordinator
+// surfaces it), a 5xx means this node failed it (the coordinator
+// requeues elsewhere).
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var task experiments.ShardTask
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&task); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding shard task: %v", err)
+		return
+	}
+	if task.Trace == "" {
+		writeError(w, http.StatusBadRequest, "shard task has no trace address")
+		return
+	}
+	payload, err := s.agent.execute(r.Context(), task)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "shard %s/%s@%d: %v", task.Cfg.Name, task.Bench, task.ReplayFrom, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
 }
 
 // writeJSON sends v with status code.
@@ -280,6 +353,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("sdvd_gang_runs_total %d", sc.gangRuns.Load())
 	p("sdvd_gang_decoded_blocks_total %d", sc.decodedBlocks.Load())
 	p("sdvd_gang_decode_saved_total %d", sc.decodedBlockLoads.Load()-sc.decodedBlocks.Load())
+
+	if s.cluster != nil {
+		// Cluster, coordinator side: live workers, placement and failover
+		// activity, and artifact pulls served to workers.
+		p("sdvd_cluster_workers %d", s.cluster.liveWorkers())
+		p("sdvd_cluster_shards_dispatched_total %d", s.cluster.dispatched.Load())
+		p("sdvd_cluster_shards_remote_total %d", s.cluster.remoteRuns.Load())
+		p("sdvd_cluster_shards_local_total %d", s.cluster.localRuns.Load())
+		p("sdvd_cluster_requeues_total %d", s.cluster.requeues.Load())
+		p("sdvd_cluster_artifact_pulls_total %d", s.cluster.artifacts.pulls.Load())
+		p("sdvd_cluster_artifacts %d", s.cluster.artifacts.len())
+	}
+	if s.agent != nil {
+		// Cluster, worker side: shards executed for a coordinator and the
+		// artifact fetches (plus retried attempts) that fed them.
+		p("sdvd_worker_shards_executed_total %d", s.agent.executed.Load())
+		p("sdvd_worker_artifact_fetches_total %d", s.agent.fetches.Load())
+		p("sdvd_worker_artifact_fetch_retries_total %d", s.agent.retries.Load())
+	}
 
 	h := sc.hotStats()
 	p("sdvd_hotpath_uop_news_total %d", h.UopNews)

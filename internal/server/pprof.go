@@ -1,0 +1,20 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler serves the standard net/http/pprof endpoints under
+// /debug/pprof/. Profiling is opt-in — the daemon binds it on its own
+// listener (-pprof addr) rather than exposing it on the API port, so a
+// production API surface never carries the profiler by accident.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

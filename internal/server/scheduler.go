@@ -35,6 +35,10 @@ type scheduler struct {
 	traces  *traceCache
 	workers int // per-job simulation workers
 	gang    int // gang replay mode for each job's Runner (Options.Gang)
+	// remote, when non-nil, is the cluster placement layer every job's
+	// replay work dispatches through (set on a coordinator). Execution
+	// shape only: results and cache keys are unaffected.
+	remote  experiments.RemoteShards
 	history int // terminal jobs retained in the registry
 	logf    func(format string, args ...any)
 
@@ -273,6 +277,7 @@ func (s *scheduler) compute(ctx context.Context, job *Job) ([]byte, error) {
 		Progress:        job.progressHook,
 		Gang:            s.gang,
 	}.WithDefaults()
+	opts.Remote = s.remote
 	// A job carrying a workload-spec payload resolves its generated
 	// workloads through a per-job resolver, so concurrent jobs with
 	// different spec files never observe each other's definitions, and

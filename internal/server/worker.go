@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specvec/internal/experiments"
+	"specvec/internal/trace"
+)
+
+// Cluster mode, worker half: a worker process joins a coordinator with
+// -join, re-registers on a heartbeat so the coordinator's liveness
+// window stays open, and serves POST /v1/shards — one replay interval
+// per request. Recordings arrive by content address: the worker keeps a
+// small LRU of decoded traces and pulls GET /v1/artifacts/{id} from the
+// coordinator on miss, verifying the bytes against the address they
+// were requested by before trusting them.
+
+const (
+	// defaultWorkerTraces bounds the worker's decoded-trace LRU.
+	defaultWorkerTraces = 8
+	// artifactPullAttempts is how many times a worker tries one artifact
+	// pull before failing the shard (the coordinator then requeues or
+	// runs it locally).
+	artifactPullAttempts = 3
+)
+
+// workerAgent is the worker-side state: the coordinator to heartbeat,
+// the trace cache, and the execution bound.
+type workerAgent struct {
+	joinURL   string // coordinator base URL
+	cores     int
+	heartbeat time.Duration
+	logf      func(format string, args ...any)
+	client    *http.Client
+
+	sem chan struct{} // bounds concurrent shard executions
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	pending map[string]*tracePull
+
+	selfURL atomic.Value // string; set when the heartbeat loop starts
+
+	executed atomic.Int64 // shard tasks completed
+	fetches  atomic.Int64 // artifact pulls performed (misses)
+	retries  atomic.Int64 // pull attempts beyond the first
+}
+
+// tracePull coalesces concurrent fetches of one artifact.
+type tracePull struct {
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+type workerTraceEntry struct {
+	id string
+	tr *trace.Trace
+}
+
+func newWorkerAgent(joinURL string, cores int, heartbeat time.Duration, logf func(string, ...any)) *workerAgent {
+	if cores <= 0 {
+		cores = 1
+	}
+	if heartbeat <= 0 {
+		heartbeat = defaultHeartbeat
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &workerAgent{
+		joinURL:   joinURL,
+		cores:     cores,
+		heartbeat: heartbeat,
+		logf:      logf,
+		client:    &http.Client{Timeout: 30 * time.Second},
+		sem:       make(chan struct{}, cores),
+		entries:   map[string]*list.Element{},
+		order:     list.New(),
+		pending:   map[string]*tracePull{},
+	}
+}
+
+// run joins the coordinator immediately and then heartbeats — each
+// heartbeat is a re-join, which also revives this worker if a transient
+// dispatch failure got it marked dead — until ctx is cancelled.
+func (a *workerAgent) run(ctx context.Context, selfURL string) {
+	a.selfURL.Store(selfURL)
+	if err := a.join(ctx); err != nil {
+		a.logf("worker: joining %s failed (will retry): %v", a.joinURL, err)
+	} else {
+		a.logf("worker: joined %s as %s (%d cores)", a.joinURL, selfURL, a.cores)
+	}
+	t := time.NewTicker(a.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := a.join(ctx); err != nil {
+				a.logf("worker: heartbeat to %s failed: %v", a.joinURL, err)
+			}
+		}
+	}
+}
+
+// join POSTs this worker's advertisement to the coordinator.
+func (a *workerAgent) join(ctx context.Context) error {
+	self, _ := a.selfURL.Load().(string)
+	body, _ := json.Marshal(joinRequest{URL: self, Cores: a.cores})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.joinURL+"/v1/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, apiErrorText(payload))
+	}
+	return nil
+}
+
+// joinRequest is the registration body: where to dispatch shards and
+// how many to dispatch at once.
+type joinRequest struct {
+	URL   string `json:"url"`
+	Cores int    `json:"cores"`
+}
+
+// execute runs one shard task: resolve the recording (cache or pull),
+// replay the interval, return the statistics. Bounded by the worker's
+// simulation pool.
+func (a *workerAgent) execute(ctx context.Context, task experiments.ShardTask) ([]byte, error) {
+	select {
+	case a.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-a.sem }()
+	tr, err := a.traceFor(ctx, task.Trace)
+	if err != nil {
+		return nil, err
+	}
+	st, err := experiments.ExecuteShardTask(ctx, task, tr)
+	if err != nil {
+		return nil, err
+	}
+	a.executed.Add(1)
+	return json.Marshal(st)
+}
+
+// traceFor resolves a recording by content address: LRU hit, or a
+// coalesced pull from the coordinator's artifact store with retry,
+// backoff and content verification.
+func (a *workerAgent) traceFor(ctx context.Context, id string) (*trace.Trace, error) {
+	if id == "" {
+		return nil, fmt.Errorf("shard task has no trace address")
+	}
+	a.mu.Lock()
+	if el, ok := a.entries[id]; ok {
+		a.order.MoveToFront(el)
+		tr := el.Value.(*workerTraceEntry).tr
+		a.mu.Unlock()
+		return tr, nil
+	}
+	if p, ok := a.pending[id]; ok {
+		a.mu.Unlock()
+		select {
+		case <-p.done:
+			return p.tr, p.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	p := &tracePull{done: make(chan struct{})}
+	a.pending[id] = p
+	a.mu.Unlock()
+
+	p.tr, p.err = a.pull(ctx, id)
+	a.mu.Lock()
+	delete(a.pending, id)
+	if p.err == nil {
+		a.entries[id] = a.order.PushFront(&workerTraceEntry{id: id, tr: p.tr})
+		for a.order.Len() > defaultWorkerTraces {
+			tail := a.order.Back()
+			a.order.Remove(tail)
+			delete(a.entries, tail.Value.(*workerTraceEntry).id)
+		}
+	}
+	a.mu.Unlock()
+	close(p.done)
+	return p.tr, p.err
+}
+
+// pull fetches one artifact with bounded retry and exponential backoff,
+// verifying the bytes against the content address before decoding.
+func (a *workerAgent) pull(ctx context.Context, id string) (*trace.Trace, error) {
+	a.fetches.Add(1)
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < artifactPullAttempts; attempt++ {
+		if attempt > 0 {
+			a.retries.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		enc, err := a.fetch(ctx, id)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if err := trace.VerifyContentID(enc, id); err != nil {
+			lastErr = err
+			continue // corrupted transfer; retry
+		}
+		tr, err := trace.DecodeBytes(enc)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return tr, nil
+	}
+	return nil, fmt.Errorf("pulling artifact %.12s… after %d attempts: %w", id, artifactPullAttempts, lastErr)
+}
+
+// fetch performs one GET of an artifact from the coordinator.
+func (a *workerAgent) fetch(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.joinURL+"/v1/artifacts/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, apiErrorText(payload))
+	}
+	return payload, nil
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Artifact hooks: a recorded trace ships between cluster nodes as an
+// immutable blob addressed by the SHA-256 of its encoded form. The
+// codec is deterministic (same trace, same bytes), so the content
+// address doubles as an equality check: a worker that re-fetches a
+// recording after a coordinator restart either gets byte-identical
+// data or detects the mismatch before replaying a single record.
+
+// EncodeBytes renders the trace in the versioned on-disk format and
+// returns the raw bytes (see Encode for the layout).
+func (t *Trace) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(t.SizeBytes() / 2)
+	if err := t.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBytes decodes a trace from its encoded form, verifying the
+// embedded checksum like Decode.
+func DecodeBytes(b []byte) (*Trace, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// ContentID returns the content address of an encoded trace: the hex
+// SHA-256 over the encoded bytes. Artifact stores key recordings by it
+// and pullers verify what they fetched against it.
+func ContentID(encoded []byte) string {
+	sum := sha256.Sum256(encoded)
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyContentID checks fetched artifact bytes against the content
+// address they were requested by, returning a one-line error on
+// mismatch (a truncated or corrupted transfer).
+func VerifyContentID(encoded []byte, id string) error {
+	if got := ContentID(encoded); got != id {
+		return fmt.Errorf("trace: artifact content mismatch: want %.12s…, got %.12s…", id, got)
+	}
+	return nil
+}
