@@ -258,6 +258,8 @@ func (j *Journal) PushDec(seq uint64, p *uint64) {
 }
 
 // undoNewest pops and applies the newest record.
+//
+//sdv:hotpath
 func (j *Journal) undoNewest() {
 	rec := j.recs[len(j.recs)-1]
 	j.recs = j.recs[:len(j.recs)-1]

@@ -356,6 +356,8 @@ func (r *VReg) freeable(gmrbb uint64) bool {
 // same gmrbb and no intervening mutation is answered from the memo
 // without scanning: the previous pass freed everything freeable, so the
 // outcome is 0 by construction.
+//
+//sdv:hotpath
 func (rf *RegFile) Sweep(gmrbb uint64) int {
 	if rf.sweepValid && rf.sweepGmrbb == gmrbb && rf.sweepMuts == rf.muts {
 		return 0

@@ -31,11 +31,15 @@ type Options struct {
 	// are byte-identical regardless of Workers: every simulation is an
 	// independent deterministic run and tables are assembled in a fixed
 	// order.
+	//
+	//sdv:shape
 	Workers int
 	// NoSharedTraces disables the per-benchmark trace/program memo: every
 	// run builds its own program and emulates functionally, as if it were
 	// the only one. Results are byte-identical either way; the flag exists
 	// for benchmarking the sharing itself and as an escape hatch.
+	//
+	//sdv:shape
 	NoSharedTraces bool
 	// Shards splits every (configuration, benchmark) simulation into this
 	// many measured intervals, each fast-forwarded to a trace checkpoint
@@ -73,6 +77,8 @@ type Options struct {
 	// it must be safe for concurrent use and must not call back into the
 	// Runner. Observation only: results are byte-identical with or
 	// without it.
+	//
+	//sdv:shape
 	Progress func(ProgressEvent)
 	// Traces, when non-nil, persists recorded benchmark traces across
 	// Runner instances (see TraceStore). A leader checks the store before
@@ -89,6 +95,8 @@ type Options struct {
 	// members per gang. Like Workers, this is execution shape only:
 	// results are byte-identical in every mode, which is why the service
 	// layer excludes it from cache keys.
+	//
+	//sdv:shape
 	Gang int
 	// Workloads, when non-nil, resolves benchmark names instead of the
 	// global workload registry. The service layer threads a per-job
@@ -103,6 +111,8 @@ type Options struct {
 	// only: replay is deterministic, so results are byte-identical with
 	// and without it, at any worker count, and across worker failures
 	// (the executor requeues a dead node's tasks).
+	//
+	//sdv:shape
 	Remote RemoteShards
 }
 

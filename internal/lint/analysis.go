@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package and reports
+// through the Pass; the driver handles suppression, ordering and
+// aggregation.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) analysis state — a deliberate
+// subset of golang.org/x/tools/go/analysis.Pass so the analyzers port
+// mechanically if x/tools ever enters the build.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Ann is the module-wide annotation table, collected over every
+	// loaded package before any analyzer runs (shape fields and cache-key
+	// functions cross package boundaries).
+	Ann *Annotations
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object (use or def).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetRange,
+		ShapeTaint,
+		HotAlloc,
+		ErrDrop,
+		NonDeterm,
+	}
+}
+
+// RunAnalyzers runs each analyzer over every target package (dependency
+// packages contribute annotations but are not themselves diagnosed
+// unless they are targets too), filters //sdv:ignore suppressions, and
+// returns the findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ann := CollectAnnotations(pkgs)
+	sup := collectSuppressions(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Ann: ann, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = sup.filter(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressions maps file -> line -> analyzer names silenced there. An
+// entry on line L (a trailing comment or a comment-only line) silences
+// diagnostics on L and L+1, so both of these work:
+//
+//	doThing() //sdv:ignore errdrop -- best effort
+//
+//	//sdv:ignore detrange -- fan-out order is subscriber-independent
+//	for ch := range j.subs {
+type suppressions map[string]map[int][]string
+
+const ignoreDirective = "//sdv:ignore"
+
+func collectSuppressions(pkgs []*Package) suppressions {
+	sup := suppressions{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignoreDirective) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignoreDirective)
+					if cut := strings.Index(rest, "--"); cut >= 0 {
+						rest = rest[:cut] // trailing free-form reason
+					}
+					var names []string
+					for _, n := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						names = append(names, n)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					m := sup[pos.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						sup[pos.Filename] = m
+					}
+					m[pos.Line] = names
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// filter drops diagnostics silenced by an //sdv:ignore on their line or
+// the line above. An empty name list silences every analyzer.
+func (s suppressions) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if s.silenced(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (s suppressions) silenced(d Diagnostic) bool {
+	m := s[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		names, ok := m[line]
+		if !ok {
+			continue
+		}
+		if len(names) == 0 {
+			return true
+		}
+		for _, n := range names {
+			if n == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathIn reports whether pkgPath falls under any of the given package
+// path suffixes (matched on whole path segments, so "internal/stats"
+// matches "specvec/internal/stats" but not "internal/statsdb").
+func pathIn(pkgPath string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation directives. They are written without a space after `//` so
+// gofmt treats them as machine directives and never reflows them.
+const (
+	hotpathDirective  = "//sdv:hotpath"
+	shapeDirective    = "//sdv:shape"
+	cachekeyDirective = "//sdv:cachekey"
+)
+
+// HotFunc is one //sdv:hotpath-annotated function.
+type HotFunc struct {
+	PkgPath string
+	Name    string // bare function or method name (receiver-less)
+	Recv    string // receiver type name, "" for plain functions
+	Pos     token.Position
+	Decl    *ast.FuncDecl
+}
+
+// Annotations is the module-wide table of //sdv: source annotations,
+// collected before analyzers run because shape fields and cache-key
+// functions cross package boundaries (experiments.Options fields are
+// consumed by internal/server key computations).
+type Annotations struct {
+	// HotFuncs lists every //sdv:hotpath function; hotalloc checks the
+	// bodies, and the lint meta-test checks each one is exercised by an
+	// allocation-measuring test.
+	HotFuncs []HotFunc
+	// Shape maps field objects annotated //sdv:shape to their names.
+	Shape map[types.Object]string
+	// ShapeStructs maps a named struct type to the shape fields it
+	// contains, so marshalling the whole struct inside a cache-key
+	// function is caught as well as reading a field.
+	ShapeStructs map[*types.TypeName][]string
+	// CacheKey is the set of //sdv:cachekey function objects.
+	CacheKey map[types.Object]bool
+}
+
+// CollectAnnotations scans every package for //sdv: directives.
+func CollectAnnotations(pkgs []*Package) *Annotations {
+	ann := &Annotations{
+		Shape:        map[types.Object]string{},
+		ShapeStructs: map[*types.TypeName][]string{},
+		CacheKey:     map[types.Object]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ann.collectFile(pkg, f)
+		}
+	}
+	return ann
+}
+
+// hasDirective reports whether the comment group contains the given
+// machine directive. Directive comments are excluded from doc text by
+// go/ast, so the raw comment list is scanned.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func (ann *Annotations) collectFile(pkg *Package, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if hasDirective(d.Doc, hotpathDirective) {
+				ann.HotFuncs = append(ann.HotFuncs, HotFunc{
+					PkgPath: pkg.Path,
+					Name:    d.Name.Name,
+					Recv:    recvTypeName(d),
+					Pos:     pkg.Fset.Position(d.Pos()),
+					Decl:    d,
+				})
+			}
+			if hasDirective(d.Doc, cachekeyDirective) {
+				if obj := pkg.Info.Defs[d.Name]; obj != nil {
+					ann.CacheKey[obj] = true
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				ann.collectStruct(pkg, ts, st)
+			}
+		}
+	}
+}
+
+func (ann *Annotations) collectStruct(pkg *Package, ts *ast.TypeSpec, st *ast.StructType) {
+	var tn *types.TypeName
+	if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+		tn, _ = obj.(*types.TypeName)
+	}
+	for _, field := range st.Fields.List {
+		if !hasDirective(field.Doc, shapeDirective) && !hasDirective(field.Comment, shapeDirective) {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			ann.Shape[obj] = name.Name
+			if tn != nil {
+				ann.ShapeStructs[tn] = append(ann.ShapeStructs[tn], name.Name)
+			}
+		}
+	}
+}
+
+// recvTypeName extracts the receiver's base type name ("" for plain
+// functions).
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// shapeStruct returns the shape fields of t (dereferencing pointers and
+// following named types), or nil.
+func (ann *Annotations) shapeStruct(t types.Type) []string {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return ann.ShapeStructs[named.Obj()]
+}

@@ -1,0 +1,141 @@
+package lint
+
+// The fixture layer is this suite's analysistest: each analyzer owns a
+// testdata/<name>/ directory of small Go files where every line that must
+// be flagged carries a `// want "regex"` comment and every clean idiom
+// appears without one. The harness type-checks the fixture (stdlib
+// imports only), runs the single analyzer through the real driver —
+// annotations, suppressions and all — and fails on any diagnostic without
+// a matching want, or any want without a matching diagnostic.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestDetRangeFixture(t *testing.T)   { runFixture(t, DetRange) }
+func TestShapeTaintFixture(t *testing.T) { runFixture(t, ShapeTaint) }
+func TestHotAllocFixture(t *testing.T)   { runFixture(t, HotAlloc) }
+func TestErrDropFixture(t *testing.T)    { runFixture(t, ErrDrop) }
+func TestNonDetermFixture(t *testing.T)  { runFixture(t, NonDeterm) }
+
+// fixturePathDirective overrides the fixture package's import path, so
+// package-scoped analyzers (detrange, nondeterm) see a critical path.
+const fixturePathDirective = "//sdvtest:path "
+
+// loadFixture parses and type-checks testdata/<dir> into a lint Package.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in testdata/%s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	path := "specvec/testdata/" + dir
+	var files []*ast.File
+	for _, name := range names {
+		af, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		for _, cg := range af.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, fixturePathDirective) {
+					path = strings.TrimSpace(strings.TrimPrefix(c.Text, fixturePathDirective))
+				}
+			}
+		}
+		files = append(files, af)
+	}
+
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		Path:   path,
+		Dir:    filepath.Join("testdata", dir),
+		Target: true,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+}
+
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants maps "file:line" to the expectation regexes written there.
+func collectWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "// want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantQuoted.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("fixture has no want expectations; a silently idle analyzer would pass")
+	}
+	return wants
+}
+
+// runFixture checks one analyzer's diagnostics against its fixture's
+// wants, in both directions.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, a.Name)
+	wants := collectWants(t, pkg)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+
+	hit := map[string][]bool{}
+	for key, res := range wants {
+		hit[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				hit[key][i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !hit[key][i] {
+				t.Errorf("%s: expected a diagnostic matching %q, got none", key, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc keeps //sdv:hotpath functions allocation-free — the PR 2
+// invariant behind the steady-state-zero-allocs cycle loop and the
+// 0 allocs/op replay cursors. It flags the constructs that introduce
+// heap allocations wholesale: closure literals, map/slice/pointer
+// composite literals, make/new, any fmt call, boxing a non-pointer
+// value into an interface parameter, runtime string building, and
+// string<->byte-slice conversions. Cold branches inside a hot function
+// (error paths taken once per run) carry an //sdv:ignore hotalloc with
+// a reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation-introducing constructs inside //sdv:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(nn.Pos(), "closure literal in hot path %s allocates (captured variables escape)", fd.Name.Name)
+			return false // don't double-report the closure's own body
+		case *ast.CompositeLit:
+			switch pass.TypeOf(nn).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(nn.Pos(), "map literal in hot path %s allocates", fd.Name.Name)
+			case *types.Slice:
+				pass.Reportf(nn.Pos(), "slice literal in hot path %s allocates", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if nn.Op.String() == "&" {
+				if _, ok := nn.X.(*ast.CompositeLit); ok {
+					pass.Reportf(nn.Pos(), "&composite literal in hot path %s heap-allocates; use a pool or preallocated storage", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if nn.Op.String() == "+" && isStringType(pass.TypeOf(nn)) && !isConstExpr(pass, nn) {
+				pass.Reportf(nn.Pos(), "string concatenation in hot path %s allocates", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, nn)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins that allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path %s allocates; preallocate in setup code", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path %s allocates; use pooled or preallocated storage", fd.Name.Name)
+			case "append":
+				// append is how the preallocated journal stacks and rings
+				// grow back to high-water marks; amortized-zero by design,
+				// so not flagged.
+			}
+			return
+		}
+	}
+
+	// Conversions: string([]byte) and []byte(string) copy.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.TypeOf(call.Args[0])
+		if isStringByteConversion(to, from) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion in hot path %s copies and allocates", fd.Name.Name)
+		}
+		return
+	}
+
+	// Any fmt call formats through reflection and allocates.
+	if obj := calleeObject(pass, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates (boxing + formatting)", obj.Name(), fd.Name.Name)
+		return
+	}
+
+	// Boxing: a non-pointer concrete value passed where an interface is
+	// expected allocates (the value escapes into the interface).
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice through does not box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the interface word without allocating
+		}
+		pass.Reportf(arg.Pos(), "value of type %s boxed into interface parameter in hot path %s allocates", at, fd.Name.Name)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringByteConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune)
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package under analysis. Test files are
+// deliberately absent: the invariants the suite enforces are about
+// shipped code, and every analyzer's scope statement says "outside
+// _test.go".
+type Package struct {
+	Path   string // import path
+	Dir    string
+	Target bool // matched the requested patterns (vs. pulled in as a dep)
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// TestFiles are the package's _test.go file paths (internal and
+	// external test packages), parsed on demand by the meta-test layer;
+	// they are never type-checked here.
+	TestFiles []string
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+}
+
+// Load type-checks the packages matching patterns (resolved by the go
+// command from dir, so "./..." works anywhere inside the module) plus
+// every module-local dependency, returning them in dependency order.
+// Standard-library imports resolve through the compiler's source
+// importer; nothing is fetched from the network.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		listed:  map[string]*listedPackage{},
+		checked: map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		lp := p
+		ld.listed[p.ImportPath] = &lp
+		if !p.Standard {
+			order = append(order, p.ImportPath)
+		}
+	}
+
+	var pkgs []*Package
+	for _, path := range order {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages in dependency order (`go list
+// -deps` emits dependencies first), chaining to the source importer for
+// the standard library.
+type loader struct {
+	fset    *token.FileSet
+	listed  map[string]*listedPackage
+	checked map[string]*Package
+	std     types.Importer
+}
+
+// Import implements types.Importer for module-local and stdlib paths.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.checked[path]; ok {
+		return p.Types, nil
+	}
+	if lp, ok := l.listed[path]; ok && !lp.Standard {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) check(path string) (*Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not in go list output", path)
+	}
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("lint: package %s uses cgo, which the analyzer loader does not support", path)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		af, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	var testFiles []string
+	for _, name := range lp.TestGoFiles {
+		testFiles = append(testFiles, filepath.Join(lp.Dir, name))
+	}
+	for _, name := range lp.XTestGoFiles {
+		testFiles = append(testFiles, filepath.Join(lp.Dir, name))
+	}
+	p := &Package{
+		Path:      path,
+		Dir:       lp.Dir,
+		Target:    !lp.DepOnly,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
+	}
+	l.checked[path] = p
+	return p, nil
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

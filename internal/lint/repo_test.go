@@ -1,0 +1,144 @@
+package lint
+
+// Repo-level enforcement: the same checks `go run ./cmd/sdvcheck ./...`
+// makes in CI run under plain `go test`, so a diagnostic or an
+// unbenchmarked hot path fails tier-1 locally too.
+
+import (
+	"go/ast"
+	"go/parser"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	repoOnce sync.Once
+	repoPkgs []*Package
+	repoErr  error
+)
+
+// loadRepo loads and type-checks the whole module once per test binary.
+func loadRepo(t *testing.T) []*Package {
+	t.Helper()
+	repoOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+		if err != nil {
+			repoErr = err
+			return
+		}
+		repoPkgs, repoErr = Load(strings.TrimSpace(string(out)), "./...")
+	})
+	if repoErr != nil {
+		t.Fatalf("loading module packages: %v", repoErr)
+	}
+	return repoPkgs
+}
+
+// TestRepoIsClean runs the full analyzer suite over every module package
+// and fails on any diagnostic — the in-process form of the CI sdvcheck
+// gate.
+func TestRepoIsClean(t *testing.T) {
+	diags := RunAnalyzers(loadRepo(t), Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestHotPathsCoveredByAllocBenchmarks asserts that every //sdv:hotpath
+// function is reachable, through a name-based call graph, from a test
+// that measures allocations (testing.AllocsPerRun or b.ReportAllocs).
+// hotalloc catches allocation constructs statically; this meta-test makes
+// sure the dynamic side exists too — annotating a function nobody
+// measures would let regressions slip through the static analyzer's known
+// blind spots (escape-analysis changes, callee-side allocations).
+func TestHotPathsCoveredByAllocBenchmarks(t *testing.T) {
+	pkgs := loadRepo(t)
+	ann := CollectAnnotations(pkgs)
+	if len(ann.HotFuncs) < 8 {
+		t.Fatalf("collected only %d //sdv:hotpath annotations; the pipeline/trace/core hot loops alone carry more — annotation parsing is broken", len(ann.HotFuncs))
+	}
+
+	// Function bodies by bare name, across package files and test files.
+	bodies := map[string][]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	addDecl := func(fd *ast.FuncDecl, testFile bool) {
+		if fd.Body == nil {
+			return
+		}
+		bodies[fd.Name.Name] = append(bodies[fd.Name.Name], fd)
+		if testFile && mentionsAllocMeasure(fd.Body) {
+			roots = append(roots, fd)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					addDecl(fd, false)
+				}
+			}
+		}
+		for _, name := range pkg.TestFiles {
+			af, err := parser.ParseFile(pkg.Fset, name, nil, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", name, err)
+			}
+			for _, decl := range af.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					addDecl(fd, true)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no allocation-measuring tests found (AllocsPerRun / ReportAllocs)")
+	}
+
+	// BFS over called names from the measuring tests.
+	reached := map[string]bool{}
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, _ := calleeName(call)
+			if name == "" || reached[name] {
+				return true
+			}
+			reached[name] = true
+			queue = append(queue, bodies[name]...)
+			return true
+		})
+	}
+
+	for _, hf := range ann.HotFuncs {
+		if !reached[hf.Name] {
+			label := hf.Name
+			if hf.Recv != "" {
+				label = hf.Recv + "." + hf.Name
+			}
+			t.Errorf("//sdv:hotpath %s (%s) is not reached from any allocation-measuring test; add it to a steady-state-allocs test or drop the annotation", label, hf.Pos)
+		}
+	}
+}
+
+// mentionsAllocMeasure reports whether the body references the testing
+// package's allocation-measuring API.
+func mentionsAllocMeasure(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if id.Name == "AllocsPerRun" || id.Name == "ReportAllocs" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,76 @@
+//sdvtest:path specvec/internal/stats
+
+package detrange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// emitUnsorted streams entries straight out of the map: flagged.
+func emitUnsorted(m map[string]int) {
+	for k, v := range m { // want "map iteration order is random"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// collectNoSort gathers keys in iteration order and hands them out
+// unsorted: flagged.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted afterwards"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// writeUnsorted serializes each entry as it comes: flagged.
+func writeUnsorted(m map[string]int, w io.Writer) {
+	for k := range m { // want "writes to a stream or serializer"
+		w.Write([]byte(k))
+	}
+}
+
+// fanOut sends per iteration: flagged.
+func fanOut(m map[string]int, ch chan<- string) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: clean.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sum is order-neutral accumulation: clean.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes into another map, which is order-neutral: clean.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// suppressed documents a deliberate exception: clean.
+func suppressed(m map[string]int, ch chan<- string) {
+	//sdv:ignore detrange -- fixture: order is consumer-independent here
+	for k := range m {
+		ch <- k
+	}
+}

@@ -1,0 +1,31 @@
+package errdrop
+
+import "os"
+
+type recorder struct{}
+
+func (recorder) Finish() error { return nil }
+func (recorder) Abort()        {}
+
+// bad drops finalization errors silently: every call is flagged.
+func bad(f *os.File, r recorder) {
+	r.Finish() // want "error from r.Finish silently discarded"
+	f.Close()  // want "error from f.Close silently discarded"
+	f.Sync()   // want "error from f.Sync silently discarded"
+}
+
+// good handles, defers or visibly discards: clean.
+func good(f *os.File, r recorder) error {
+	defer f.Close()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	_ = f.Sync()
+	r.Abort()
+	return nil
+}
+
+// suppressed documents a deliberate best-effort drop: clean.
+func suppressed(f *os.File) {
+	f.Close() //sdv:ignore errdrop -- fixture: best-effort cleanup
+}

@@ -1,0 +1,71 @@
+package hotalloc
+
+import "fmt"
+
+type sim struct {
+	buf   []int
+	cycle uint64
+}
+
+type sink interface{ accept(v any) }
+
+// step is the per-cycle hot loop: every allocating construct is flagged.
+//
+//sdv:hotpath
+func (s *sim) step() {
+	s.cycle++
+	s.buf = append(s.buf, int(s.cycle)) // amortized ring growth: clean
+	m := map[string]int{}               // want "map literal in hot path step allocates"
+	_ = m
+	sl := []int{1, 2, 3} // want "slice literal in hot path step allocates"
+	_ = sl
+	p := &sim{} // want "composite literal in hot path step heap-allocates"
+	_ = p
+	q := make([]byte, 8) // want "make in hot path step allocates"
+	_ = q
+	fmt.Sprintf("cycle %d", s.cycle) // want "fmt.Sprintf in hot path step allocates"
+}
+
+// observe builds a closure on the hot path: flagged.
+//
+//sdv:hotpath
+func (s *sim) observe() {
+	cb := func() { s.cycle++ } // want "closure literal in hot path observe allocates"
+	cb()
+}
+
+// publish boxes a value into an interface parameter: flagged for the
+// value, clean for the pointer (it fits the interface word).
+//
+//sdv:hotpath
+func (s *sim) publish(k sink) {
+	k.accept(s.cycle) // want "boxed into interface parameter"
+	k.accept(s)
+}
+
+// label concatenates at runtime: flagged.
+//
+//sdv:hotpath
+func label(a, b string) string {
+	return a + b // want "string concatenation in hot path label allocates"
+}
+
+// bytesOf converts string to bytes, which copies: flagged.
+//
+//sdv:hotpath
+func bytesOf(s string) []byte {
+	return []byte(s) // want "conversion in hot path bytesOf copies and allocates"
+}
+
+// fail is a cold error path inside a hot function family; the ignore
+// carries the reason: clean.
+//
+//sdv:hotpath
+func (s *sim) fail() string {
+	return fmt.Sprintf("sim wedged at cycle %d", s.cycle) //sdv:ignore hotalloc -- fixture: cold error path
+}
+
+// setup runs once; no annotation, so nothing is flagged.
+func setup() *sim {
+	return &sim{buf: make([]int, 0, 1024)}
+}

@@ -1,0 +1,50 @@
+//sdvtest:path specvec/internal/trace
+
+package nondeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock: flagged.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// jitter draws from the shared global source: flagged.
+func jitter() int {
+	return rand.Intn(8) // want "math/rand.Intn uses the shared global source"
+}
+
+// seeded builds a caller-owned source from an explicit seed: clean.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// merge races two channels; the runtime picks pseudo-randomly: flagged.
+func merge(a, b <-chan int) int {
+	select { // want "select over 2 channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// single polls one channel with a default arm, which is a fixed order:
+// clean.
+func single(a <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+	}
+	return 0
+}
+
+// elapsed subtracts explicit timestamps, not the wall clock: clean.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}

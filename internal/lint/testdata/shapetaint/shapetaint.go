@@ -1,0 +1,53 @@
+package shapetaint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Options mirrors the experiments option block: semantic fields that
+// change results, plus execution-shape knobs that must never be keyed on.
+type Options struct {
+	Scale int
+	Seed  int64
+
+	//sdv:shape
+	Workers int
+
+	//sdv:shape
+	Gang int
+}
+
+// Key hashes the semantic fields only: clean.
+//
+//sdv:cachekey
+func Key(o Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d/%d", o.Scale, o.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BadKey reads a shape field inside the key computation: flagged.
+//
+//sdv:cachekey
+func BadKey(o Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d/%d/%d", o.Scale, o.Seed, o.Workers) // want "execution-shape field Workers"
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BadWholeStruct serializes the whole struct, leaking the shape fields
+// implicitly: flagged.
+//
+//sdv:cachekey
+func BadWholeStruct(o Options) string {
+	b, _ := json.Marshal(o) // want "whole struct with //sdv:shape fields"
+	return string(b)
+}
+
+// Schedule is not a cache-key function, so shape reads are fine: clean.
+func Schedule(o Options) int {
+	return o.Workers * o.Gang
+}

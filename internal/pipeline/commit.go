@@ -11,6 +11,8 @@ import "specvec/internal/isa"
 // reclamation (§3.3). Retired uops return to the pool, which bumps their
 // generation: any surviving reference (a consumer's dep, a rename-table
 // entry) then reads as completed.
+//
+//sdv:hotpath
 func (s *Simulator) commit() {
 	budget := s.cfg.CommitWidth
 	stores := 0

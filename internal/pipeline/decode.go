@@ -9,6 +9,8 @@ import (
 // in program order, driving the SDV engine: TL updates, vectorization
 // triggering, conversion into validations, operand checks, and the
 // scalar-operand decode block of §3.2.
+//
+//sdv:hotpath
 func (s *Simulator) decode() {
 	for n := 0; n < s.cfg.DecodeWidth && s.fetchBuf.len() > 0; n++ {
 		u := s.fetchBuf.front()

@@ -9,6 +9,8 @@ import "specvec/internal/isa"
 // penalty). Fetched uops come from the simulator's free-list pool; the
 // record held across an I-cache miss is kept by value so the stage never
 // allocates.
+//
+//sdv:hotpath
 func (s *Simulator) fetch() {
 	// A mispredicted control instruction blocks fetch until it resolves.
 	if s.fetchStall != nil {

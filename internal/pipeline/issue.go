@@ -71,6 +71,8 @@ func (s *Simulator) markIssued(u *uop, doneAt uint64) {
 // queue, oldest first, and starts their execution. Only positions flagged
 // in the ready scoreboard are visited; a one-word comparison skips entries
 // whose operands are scheduled but not yet complete.
+//
+//sdv:hotpath
 func (s *Simulator) issueScalar() {
 	budget := s.cfg.IssueWidth
 	issued := 0
@@ -285,6 +287,8 @@ func (s *Simulator) issueLoad(u *uop) bool {
 // per cycle on a pipelined vector unit once that element's sources are
 // ready (chaining, §3.4). Drained and aborted instances return to the
 // pool.
+//
+//sdv:hotpath
 func (s *Simulator) issueVector() {
 	live := s.viq[:0]
 	for _, v := range s.viq {

@@ -397,6 +397,8 @@ func (s *Simulator) runUntil(target uint64) error {
 // step advances one cycle: commit → issue → decode → fetch, so that a
 // result produced in cycle N wakes consumers no earlier than N+1 and port
 // arbitration gives committing stores priority over loads.
+//
+//sdv:hotpath
 func (s *Simulator) step() {
 	s.ports.BeginCycle(s.cycle)
 	s.flushMerges()

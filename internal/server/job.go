@@ -125,6 +125,9 @@ func (j *Job) publish(ev Event) {
 		j.events = j.events[drop:]
 		j.firstSeq += drop
 	}
+	// Every subscriber receives every event; the order subscribers are
+	// visited in cannot reorder any one subscriber's stream.
+	//sdv:ignore detrange -- fan-out order is subscriber-independent
 	for ch := range j.subs {
 		select {
 		case ch <- ev:

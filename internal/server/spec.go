@@ -190,6 +190,8 @@ func (s *JobSpec) resolveSimWorkload(specFile *wspec.File) error {
 // schema version. Worker counts and other execution-shape knobs are
 // deliberately absent — results are byte-identical regardless of
 // parallelism, so they would only fragment the cache.
+//
+//sdv:cachekey
 func (s JobSpec) Key() string {
 	canon, err := json.Marshal(s)
 	if err != nil {

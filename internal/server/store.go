@@ -82,6 +82,8 @@ func (tc *traceCache) diskPath(key string) string {
 }
 
 // scope renders the option triple a recording is only valid under.
+//
+//sdv:cachekey
 func traceScope(o experiments.Options) string {
 	return fmt.Sprintf("s%d-d%d-c%d", o.Scale, o.Seed, o.CheckpointEvery)
 }

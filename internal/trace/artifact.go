@@ -34,6 +34,8 @@ func DecodeBytes(b []byte) (*Trace, error) {
 // ContentID returns the content address of an encoded trace: the hex
 // SHA-256 over the encoded bytes. Artifact stores key recordings by it
 // and pullers verify what they fetched against it.
+//
+//sdv:cachekey
 func ContentID(encoded []byte) string {
 	sum := sha256.Sum256(encoded)
 	return hex.EncodeToString(sum[:])

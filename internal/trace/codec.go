@@ -388,7 +388,7 @@ func (t *Trace) WriteFile(path string) error {
 		return err
 	}
 	if err := t.Encode(f); err != nil {
-		f.Close()
+		_ = f.Close() // the Encode error is the one worth surfacing
 		return err
 	}
 	return f.Close()

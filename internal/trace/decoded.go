@@ -120,6 +120,8 @@ type Cursor struct {
 // pointer aliases the shared decoded block and stays valid for the life
 // of the Decoded; consumers treat records as read-only (the pipeline
 // copies what it keeps), exactly as with Replayer's window pointers.
+//
+//sdv:hotpath
 func (c *Cursor) NextRef() (*emu.DynInst, bool) {
 	if c.pos < c.blkLo || c.pos >= c.blkHi {
 		if c.pos >= uint64(c.d.t.Len()) {

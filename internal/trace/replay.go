@@ -53,6 +53,8 @@ func (r *Replayer) Trace() *Trace { return r.t }
 // stays valid until the window wraps past its sequence number. ok is
 // false once the stream is positioned past the halt record — or, for a
 // truncated trace, past the last recorded instruction.
+//
+//sdv:hotpath
 func (r *Replayer) NextRef() (*emu.DynInst, bool) {
 	if r.pos >= uint64(r.t.Len()) {
 		return nil, false

@@ -26,6 +26,8 @@ type regEntry struct {
 
 // canonicalSpec renders one workload spec in the same normalized form
 // Canonical uses for whole files, for definition-identity comparison.
+//
+//sdv:cachekey
 func canonicalSpec(s Spec) string {
 	one := File{Version: Version, Workloads: []Spec{s}}
 	return one.Canonical()

@@ -356,6 +356,8 @@ func (f *File) validate() error {
 // fields, defaults resolved, no insignificant whitespace. Two spec files
 // that differ only in formatting, key order or omitted defaults share a
 // canonical form — and therefore a cache key.
+//
+//sdv:cachekey
 func (f *File) Canonical() string {
 	b, err := json.Marshal(f)
 	if err != nil {
