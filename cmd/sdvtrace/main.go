@@ -10,6 +10,11 @@
 //	sdvtrace -verify trace.sdvt      # decode fully, checksum included; exit status only
 //
 // Multiple files may be given; each is reported in turn.
+//
+// The timeline subcommand renders a daemon job's span tree as an
+// indented waterfall instead of inspecting a trace file:
+//
+//	sdvtrace timeline -server http://127.0.0.1:8077 j000001
 package main
 
 import (
@@ -23,6 +28,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		os.Exit(timelineCmd(os.Args[2:]))
+	}
 	var (
 		dump   = flag.Int("dump", 0, "print the first N records (after -start)")
 		start  = flag.Int("start", 0, "first record to dump")

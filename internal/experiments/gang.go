@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"specvec/internal/config"
+	"specvec/internal/obs"
 	"specvec/internal/pipeline"
 	"specvec/internal/stats"
 	"specvec/internal/trace"
@@ -211,9 +212,17 @@ func (r *Runner) claimGang(bench string, chunk []RunSpec) gang {
 // decoded blocks, mirroring Run, so a cancelled sweep never poisons the
 // next one.
 func (r *Runner) runGang(bench string, members []gangMember) {
+	gsc := obs.FromContext(r.ctx).StartRun("gang-replay", "", bench)
+	defer gsc.End()
 	tc, leader, err := r.sharedTrace(bench)
 	if err == nil && leader {
-		if tr, ok := r.loadStoredTrace(bench); ok {
+		var load obs.SpanContext
+		if r.opts.Traces != nil {
+			load = gsc.Start("trace-load")
+		}
+		tr, ok := r.loadStoredTrace(bench)
+		load.End()
+		if ok {
 			if prog, perr := r.buildProgram(bench); perr != nil {
 				r.publishTrace(tc, bench, nil, nil, perr)
 			} else {
@@ -224,7 +233,7 @@ func (r *Runner) runGang(bench string, members []gangMember) {
 			// other simulation-shaped work.
 			select {
 			case r.sem <- struct{}{}:
-				r.recordShared(bench, tc)
+				r.recordShared(bench, tc, gsc)
 				<-r.sem
 			case <-r.ctx.Done():
 				err = r.ctx.Err()
@@ -262,7 +271,7 @@ func (r *Runner) runGang(bench string, members []gangMember) {
 				if i >= len(members) {
 					return
 				}
-				r.runGangMember(bench, members[i], tc, d)
+				r.runGangMember(bench, members[i], tc, d, gsc)
 			}
 		}()
 	}
@@ -296,7 +305,9 @@ func (r *Runner) evictCall(key runKey, c *call) {
 
 // runGangMember executes one member simulation and resolves its claimed
 // memo entry, with the same eviction-on-cancellation contract as Run.
-func (r *Runner) runGangMember(bench string, m gangMember, tc *traceCall, d *trace.Decoded) {
+// The member's "run" span nests under the gang's span, so a timeline
+// shows which walk served it.
+func (r *Runner) runGangMember(bench string, m gangMember, tc *traceCall, d *trace.Decoded, gsc obs.SpanContext) {
 	if err := r.ctx.Err(); err != nil {
 		m.c.err = fmt.Errorf("experiments: %s/%s: %w", m.cfg.Name, bench, err)
 	} else {
@@ -304,7 +315,9 @@ func (r *Runner) runGangMember(bench string, m gangMember, tc *traceCall, d *tra
 		case r.sem <- struct{}{}:
 			r.sims.Add(1)
 			r.emit(ProgressEvent{Kind: RunStarted, Cfg: m.cfg.Name, Bench: bench, Target: uint64(r.opts.Scale)})
-			m.c.st, m.c.err = r.gangSim(m.cfg, bench, tc, d)
+			msc := gsc.StartRun("run", m.cfg.Name, bench)
+			m.c.st, m.c.err = r.gangSim(m.cfg, bench, tc, d, msc)
+			msc.End()
 			<-r.sem
 		case <-r.ctx.Done():
 			m.c.err = fmt.Errorf("experiments: %s/%s: %w", m.cfg.Name, bench, r.ctx.Err())
@@ -326,9 +339,9 @@ func (r *Runner) runGangMember(bench string, m gangMember, tc *traceCall, d *tra
 // when it cannot, and shard the replay when the runner is configured
 // for it (the shards of every member then share the same decoded
 // blocks).
-func (r *Runner) gangSim(cfg config.Config, bench string, tc *traceCall, d *trace.Decoded) (*stats.Sim, error) {
+func (r *Runner) gangSim(cfg config.Config, bench string, tc *traceCall, d *trace.Decoded, sc obs.SpanContext) (*stats.Sim, error) {
 	if !r.usable(tc.tr, cfg) {
-		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+		return r.timedRun(sc, "emulate", cfg, bench, func() (*pipeline.Simulator, error) {
 			return pipeline.New(cfg, tc.prog)
 		})
 	}
@@ -337,12 +350,12 @@ func (r *Runner) gangSim(cfg config.Config, bench string, tc *traceCall, d *trac
 		// Remote members do not consume the shared decoded walk — the
 		// worker decodes its own pulled copy — but d stays harmless: it
 		// is lazy, so an all-remote gang never decodes a block locally.
-		return r.remoteReplay(cfg, bench, tc.tr)
+		return r.remoteReplay(cfg, bench, tc.tr, sc)
 	}
 	if r.opts.Shards > 1 {
-		return r.shardedReplay(cfg, bench, tc.tr, d)
+		return r.shardedReplay(cfg, bench, tc.tr, d, sc)
 	}
-	return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+	return r.timedRun(sc, "replay", cfg, bench, func() (*pipeline.Simulator, error) {
 		return pipeline.NewFromSource(cfg, d.Cursor())
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"specvec/internal/config"
+	"specvec/internal/obs"
 	"specvec/internal/stats"
 	"specvec/internal/trace"
 )
@@ -82,13 +83,17 @@ func ExecuteShardTask(ctx context.Context, task ShardTask, tr *trace.Trace) (*st
 // exactly as runShards does locally. The caller holds one local pool
 // slot; it is released across the fan-out (the work burns remote
 // cores, and the executor bounds its own local fallback) and
-// re-acquired before returning, mirroring shardedReplay.
-func (r *Runner) remoteReplay(cfg config.Config, bench string, tr *trace.Trace) (*stats.Sim, error) {
+// re-acquired before returning, mirroring shardedReplay. sc, when
+// active, receives a "shard-fanout" span with one "shard" child per
+// task; the executor sees each task's span through the dispatch
+// context and grafts the remote half (worker, RTT, pull) under it.
+func (r *Runner) remoteReplay(cfg config.Config, bench string, tr *trace.Trace, sc obs.SpanContext) (*stats.Sim, error) {
 	plan := shardPlan(tr, uint64(r.opts.Scale), r.opts.Shards, uint64(r.opts.ShardWarmup))
 	results := make([]*stats.Sim, len(plan))
 	errs := make([]error, len(plan))
 	var wg sync.WaitGroup
 	var finished atomic.Int32
+	fan := sc.Start("shard-fanout")
 	<-r.sem
 	for i, sp := range plan {
 		wg.Add(1)
@@ -99,7 +104,9 @@ func (r *Runner) remoteReplay(cfg config.Config, bench string, tr *trace.Trace) 
 				ReplayFrom: sp.replayFrom, BHR: sp.bhr, SeedBHR: sp.seedBHR,
 				Warmup: sp.warmup, Measure: sp.measure,
 			}
-			results[i], errs[i] = r.opts.Remote.RunShard(r.ctx, task, tr)
+			tsc := fan.Start("shard")
+			results[i], errs[i] = r.opts.Remote.RunShard(obs.ContextWith(r.ctx, tsc), task, tr)
+			tsc.End()
 			if errs[i] == nil && r.opts.Progress != nil {
 				r.emit(ProgressEvent{Kind: ShardDone, Cfg: cfg.Name, Bench: bench,
 					Shard: int(finished.Add(1)), Shards: len(plan)})
@@ -108,6 +115,7 @@ func (r *Runner) remoteReplay(cfg config.Config, bench string, tr *trace.Trace) 
 	}
 	wg.Wait()
 	r.sem <- struct{}{}
+	fan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
@@ -116,9 +124,11 @@ func (r *Runner) remoteReplay(cfg config.Config, bench string, tr *trace.Trace) 
 	if len(results) == 0 {
 		return stats.New(), nil
 	}
+	merge := sc.Start("merge")
 	merged := results[0]
 	for _, st := range results[1:] {
 		merged.Merge(st)
 	}
+	merge.End()
 	return merged, nil
 }

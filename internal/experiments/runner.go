@@ -11,6 +11,7 @@ import (
 	"specvec/internal/config"
 	"specvec/internal/emu"
 	"specvec/internal/isa"
+	"specvec/internal/obs"
 	"specvec/internal/pipeline"
 	"specvec/internal/profile"
 	"specvec/internal/stats"
@@ -536,12 +537,14 @@ func (r *Runner) buildProgram(bench string) (*isa.Program, error) {
 func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 	r.sims.Add(1)
 	r.emit(ProgressEvent{Kind: RunStarted, Cfg: cfg.Name, Bench: bench, Target: uint64(r.opts.Scale)})
+	run := obs.FromContext(r.ctx).StartRun("run", cfg.Name, bench)
+	defer run.End()
 	if r.opts.NoSharedTraces {
 		prog, err := r.buildProgram(bench)
 		if err != nil {
 			return nil, err
 		}
-		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+		return r.timedRun(run, "emulate", cfg, bench, func() (*pipeline.Simulator, error) {
 			return pipeline.New(cfg, prog)
 		})
 	}
@@ -551,7 +554,14 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
 	}
 	if leader {
-		if tr, ok := r.loadStoredTrace(bench); ok {
+		var load obs.SpanContext
+		if r.opts.Traces != nil {
+			load = run.Start("trace-load")
+		}
+		tr, ok := r.loadStoredTrace(bench)
+		load.End()
+		switch {
+		case ok:
 			// A warm store spares both the recording and the functional
 			// emulation; the program is still built for the live-emulation
 			// fallback of configurations the trace cannot feed.
@@ -560,14 +570,14 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 			} else {
 				r.publishLoadedTrace(tc, prog, tr)
 			}
-		} else if r.opts.Shards > 1 {
+		case r.opts.Shards > 1:
 			// Sharded mode records with a pure functional pass (embedding
 			// checkpoints) so the leader's own timing run can be sharded
 			// exactly like every follower's; it then falls through to the
 			// common post-publish paths below.
-			r.recordShared(bench, tc)
-		} else {
-			return r.recordRun(cfg, bench, tc)
+			r.recordShared(bench, tc, run)
+		default:
+			return r.recordRun(cfg, bench, tc, run)
 		}
 	}
 	if tc.prog == nil {
@@ -577,18 +587,18 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 		// Failed recording (tc.err says why — see ErrRecordingUnusable) or
 		// one too short for this configuration's in-flight capacity:
 		// emulate live on the shared program.
-		return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+		return r.timedRun(run, "emulate", cfg, bench, func() (*pipeline.Simulator, error) {
 			return pipeline.New(cfg, tc.prog)
 		})
 	}
 	r.replayed.Add(1)
 	if r.opts.Remote != nil {
-		return r.remoteReplay(cfg, bench, tc.tr)
+		return r.remoteReplay(cfg, bench, tc.tr, run)
 	}
 	if r.opts.Shards > 1 {
-		return r.shardedReplay(cfg, bench, tc.tr, nil)
+		return r.shardedReplay(cfg, bench, tc.tr, nil, run)
 	}
-	return r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+	return r.timedRun(run, "replay", cfg, bench, func() (*pipeline.Simulator, error) {
 		return pipeline.NewFromSource(cfg, trace.NewReplayer(tc.tr, pipeline.SourceWindow(cfg)))
 	})
 }
@@ -596,8 +606,11 @@ func (r *Runner) simulate(cfg config.Config, bench string) (*stats.Sim, error) {
 // recordShared resolves a leader's trace entry with a pure functional
 // recording pass (no timing simulation), embedding checkpoints when the
 // runner is configured for them. The entry is always resolved. Sharded
-// sweeps and stream-only experiments (VecLen) record this way.
-func (r *Runner) recordShared(bench string, tc *traceCall) {
+// sweeps and stream-only experiments (VecLen) record this way. sc, when
+// active, receives a "record" span covering the pass.
+func (r *Runner) recordShared(bench string, tc *traceCall, sc obs.SpanContext) {
+	rsc := sc.StartRun("record", "", bench)
+	defer rsc.End()
 	prog, err := r.buildProgram(bench)
 	if err != nil {
 		r.publishTrace(tc, bench, nil, nil, err)
@@ -637,8 +650,13 @@ func (r *Runner) recordShared(bench string, tc *traceCall) {
 // recordRun is the leader's simulation: it records the dynamic stream
 // while the timing run executes, completes the trace afterwards and
 // publishes it for the followers. The trace entry is always resolved,
-// even when program construction or the simulation itself fails.
-func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*stats.Sim, error) {
+// even when program construction or the simulation itself fails. sc,
+// when active, receives a "record" span covering the whole
+// record-while-timing pass (the timing run is inseparable from the
+// recording here, so no nested phase span is opened).
+func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall, sc obs.SpanContext) (*stats.Sim, error) {
+	rsc := sc.StartRun("record", cfg.Name, bench)
+	defer rsc.End()
 	prog, err := r.buildProgram(bench)
 	if err != nil {
 		r.publishTrace(tc, bench, nil, nil, err)
@@ -664,7 +682,7 @@ func (r *Runner) recordRun(cfg config.Config, bench string, tc *traceCall) (*sta
 	}
 	rec.SetContext(r.ctx)
 	rec.Reserve(r.recordTarget())
-	st, simErr := r.timedRun(cfg, bench, func() (*pipeline.Simulator, error) {
+	st, simErr := r.timedRun(obs.SpanContext{}, "", cfg, bench, func() (*pipeline.Simulator, error) {
 		return pipeline.NewFromSource(cfg, rec)
 	})
 	if cancelled(simErr) {
@@ -700,8 +718,14 @@ func (r *Runner) progressStride() uint64 {
 }
 
 // timedRun executes one timing simulation built by mk, wired to the
-// runner's context and progress observation.
-func (r *Runner) timedRun(cfg config.Config, bench string, mk func() (*pipeline.Simulator, error)) (*stats.Sim, error) {
+// runner's context and progress observation. When phase is non-empty
+// and sc active, a phase span ("emulate", "replay") covers the
+// simulator's construction and execution.
+func (r *Runner) timedRun(sc obs.SpanContext, phase string, cfg config.Config, bench string, mk func() (*pipeline.Simulator, error)) (*stats.Sim, error) {
+	if phase != "" {
+		psc := sc.Start(phase)
+		defer psc.End()
+	}
 	sim, err := mk()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)

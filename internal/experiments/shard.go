@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"specvec/internal/config"
+	"specvec/internal/obs"
 	"specvec/internal/pipeline"
 	"specvec/internal/profile"
 	"specvec/internal/stats"
@@ -161,8 +162,11 @@ func runShards(ctx context.Context, cfg config.Config, tr *trace.Trace, d *trace
 // The caller (Run) holds one pool slot; it is released while the shards
 // fan out — each shard acquires its own — and re-acquired before
 // returning so Run's release stays balanced and total concurrency never
-// exceeds Workers.
-func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace, d *trace.Decoded) (*stats.Sim, error) {
+// exceeds Workers. sc, when active, receives a "shard-fanout" span
+// covering the whole fan-out (per-interval timing lives in the merged
+// statistics, not the timeline — local shards share one clock, so the
+// envelope is what a waterfall needs).
+func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace, d *trace.Decoded, sc obs.SpanContext) (*stats.Sim, error) {
 	plan := shardPlan(tr, uint64(r.opts.Scale), r.opts.Shards, uint64(r.opts.ShardWarmup))
 	var onDone func(done, total int)
 	if r.opts.Progress != nil {
@@ -171,9 +175,11 @@ func (r *Runner) shardedReplay(cfg config.Config, bench string, tr *trace.Trace,
 				Shard: done, Shards: total})
 		}
 	}
+	fan := sc.Start("shard-fanout")
 	<-r.sem
 	st, err := runShards(r.ctx, cfg, tr, d, plan, r.sem, r.collectHot, onDone)
 	r.sem <- struct{}{}
+	fan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s: %w", cfg.Name, bench, err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"specvec/internal/emu"
+	"specvec/internal/obs"
 )
 
 // functionalTrace returns the bench's shared trace entry, recording it
@@ -25,7 +26,10 @@ func (r *Runner) functionalTrace(bench string) (*traceCall, error) {
 				r.publishLoadedTrace(tc, prog, tr)
 			}
 		} else {
-			r.recordShared(bench, tc)
+			// The "record" span parents directly under whatever span the
+			// job's context carries — a stream-only experiment has no
+			// per-run span of its own.
+			r.recordShared(bench, tc, obs.FromContext(r.ctx))
 		}
 	}
 	if tc.prog == nil {

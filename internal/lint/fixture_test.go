@@ -60,7 +60,7 @@ func loadFixture(t *testing.T, dir string) *Package {
 	}
 
 	info := newInfo()
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: fixtureImporter{importer.ForCompiler(fset, "source", nil)}}
 	tpkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", dir, err)
@@ -74,6 +74,21 @@ func loadFixture(t *testing.T, dir string) *Package {
 		Types:  tpkg,
 		Info:   info,
 	}
+}
+
+// fixtureImporter resolves stdlib imports through the source importer
+// and fabricates empty packages for module-internal ("specvec/...")
+// paths, so fixtures can exercise import-level bans (nondeterm's obs
+// sanction) without the fixture actually depending on module code.
+type fixtureImporter struct{ base types.Importer }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if strings.HasPrefix(path, "specvec/") {
+		pkg := types.NewPackage(path, path[strings.LastIndexByte(path, '/')+1:])
+		pkg.MarkComplete()
+		return pkg, nil
+	}
+	return fi.base.Import(path)
 }
 
 var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 )
 
 // deterministicPackages must produce byte-identical behaviour given the
@@ -25,6 +26,16 @@ var deterministicPackages = []string{
 	"internal/trace",
 	"internal/workload",
 	"internal/wspec",
+}
+
+// sanctionedPackages are the observability layer: obs is the one place
+// the serving side reads the wall clock (clock injection lives there),
+// so the analyzer never inspects it — and, in exchange, no
+// deterministic package may import it. The import ban keeps the
+// sanction from leaking: a sim-core package cannot launder a wall-clock
+// read through obs.Clock.
+var sanctionedPackages = []string{
+	"internal/obs",
 }
 
 // NonDeterm flags ambient nondeterminism inside deterministic packages:
@@ -53,6 +64,15 @@ func runNonDeterm(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if pathIn(path, sanctionedPackages) {
+				pass.Reportf(imp.Pos(), "deterministic package imports %s, which is sanctioned to read the wall clock; keep observability out of the simulation core (instrument from the caller instead)", path)
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch nn := n.(type) {
 			case *ast.SelectStmt:

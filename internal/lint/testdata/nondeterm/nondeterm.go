@@ -5,6 +5,11 @@ package nondeterm
 import (
 	"math/rand"
 	"time"
+
+	// The observability layer is sanctioned to read the wall clock, so a
+	// deterministic package cannot import it — not even blank — lest a
+	// sim-core package launder time.Now through obs.Clock: flagged.
+	_ "specvec/internal/obs" // want "deterministic package imports specvec/internal/obs"
 )
 
 // stamp reads the wall clock: flagged.

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts monotonic time for the serving layer. Production code
+// uses RealClock; tests inject a ManualClock so span durations and
+// histogram observations are exact. Deterministic packages (the
+// simulation core) must not take a Clock at all — they receive explicit
+// timestamps or durations, which is what the nondeterm analyzer's obs
+// import ban enforces.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// RealClock returns the wall clock. time.Time values carry a monotonic
+// reading, so Sub on two RealClock samples is monotonic-safe.
+func RealClock() Clock { return realClock{} }
+
+// ManualClock is a test clock advanced explicitly. The zero value
+// starts at the zero time; Advance moves it forward.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a ManualClock starting at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current reading.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

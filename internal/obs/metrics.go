@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: typed counters, gauges and fixed-bucket
+// histograms (optionally labeled), rendered in Prometheus text form in
+// registration order. Rendering is deterministic — registration order
+// for metrics, sorted label tuples for histogram-vec children — so
+// /metrics output is stable across scrapes and across processes.
+
+// Metric is one registered series (or family of series).
+type Metric interface {
+	// MetricName is the family name, unique within a registry.
+	MetricName() string
+	render(b *bytes.Buffer)
+}
+
+// Registry holds metrics in registration order.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// Register adds metrics; a duplicate family name is a programming error
+// and panics.
+func (r *Registry) Register(ms ...Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range ms {
+		name := m.MetricName()
+		if r.names[name] {
+			panic("obs: duplicate metric " + name)
+		}
+		r.names[name] = true
+		r.metrics = append(r.metrics, m)
+	}
+}
+
+// WriteText renders every registered metric in Prometheus text form.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]Metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var b bytes.Buffer
+	for _, m := range ms {
+		m.render(&b)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Counter is a monotonically increasing int64 series.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter returns a counter named name.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// MetricName implements Metric.
+func (c *Counter) MetricName() string { return c.name }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) render(b *bytes.Buffer) {
+	fmt.Fprintf(b, "%s %d\n", c.name, c.v.Load())
+}
+
+// Gauge is a settable int64 series.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns a gauge named name.
+func NewGauge(name string) *Gauge { return &Gauge{name: name} }
+
+// MetricName implements Metric.
+func (g *Gauge) MetricName() string { return g.name }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) render(b *bytes.Buffer) {
+	fmt.Fprintf(b, "%s %d\n", g.name, g.v.Load())
+}
+
+// Func is a series whose value is computed at scrape time (queue
+// depths, cache sizes, uptime — state that already lives elsewhere).
+type Func struct {
+	name string
+	fn   func() int64
+}
+
+// NewFunc returns a scrape-time-computed series.
+func NewFunc(name string, fn func() int64) *Func { return &Func{name: name, fn: fn} }
+
+// MetricName implements Metric.
+func (f *Func) MetricName() string { return f.name }
+
+func (f *Func) render(b *bytes.Buffer) {
+	fmt.Fprintf(b, "%s %d\n", f.name, f.fn())
+}
+
+// DefaultLatencyBuckets cover sub-millisecond cache lookups through
+// multi-minute batch sweeps.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram series. Observations are
+// lock-free (per-bucket atomics plus a CAS float sum).
+type Histogram struct {
+	name    string
+	labels  string // rendered label pairs, "" when unlabeled
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given upper bucket bounds
+// (must be sorted ascending; a final +Inf bucket is implicit).
+func NewHistogram(name string, bounds []float64) *Histogram {
+	return newHistogram(name, "", bounds)
+}
+
+func newHistogram(name, labels string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be sorted ascending: " + name)
+		}
+	}
+	return &Histogram{
+		name:   name,
+		labels: labels,
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// MetricName implements Metric.
+func (h *Histogram) MetricName() string { return h.name }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) render(b *bytes.Buffer) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", h.name)
+	h.renderSeries(b)
+}
+
+// renderSeries emits the bucket/sum/count lines without the TYPE header
+// (HistogramVec emits one header for all children).
+func (h *Histogram) renderSeries(b *bytes.Buffer) {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		if h.labels == "" {
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.name, le, cum)
+		} else {
+			fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", h.name, h.labels, le, cum)
+		}
+	}
+	suffix := ""
+	if h.labels != "" {
+		suffix = "{" + h.labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", h.name, suffix, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", h.name, suffix, cum)
+}
+
+// HistogramVec is a family of histograms keyed by a fixed tuple of
+// label values. Children are created on first use and rendered sorted
+// by label tuple.
+type HistogramVec struct {
+	name       string
+	labelNames []string
+	bounds     []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// NewHistogramVec returns a labeled histogram family.
+func NewHistogramVec(name string, labelNames []string, bounds []float64) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic("obs: HistogramVec needs label names: " + name)
+	}
+	return &HistogramVec{
+		name:       name,
+		labelNames: labelNames,
+		bounds:     bounds,
+		children:   map[string]*Histogram{},
+	}
+}
+
+// MetricName implements Metric.
+func (v *HistogramVec) MetricName() string { return v.name }
+
+// With returns the child histogram for the given label values,
+// creating it on first use. Arity must match the label names.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labelNames) {
+		panic("obs: label arity mismatch on " + v.name)
+	}
+	var sb strings.Builder
+	for i, lv := range values {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(v.labelNames[i])
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(lv))
+	}
+	pairs := sb.String()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[pairs]
+	if !ok {
+		h = newHistogram(v.name, pairs, v.bounds)
+		v.children[pairs] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) render(b *bytes.Buffer) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", v.name)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for _, h := range hs {
+		h.renderSeries(b)
+	}
+}

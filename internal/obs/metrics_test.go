@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryRenderOrderAndValues(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter("jobs_total")
+	g := NewGauge("running")
+	f := NewFunc("queued", func() int64 { return 7 })
+	reg.Register(c, g, f)
+	c.Add(3)
+	c.Inc()
+	g.Set(2)
+	g.Add(-1)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "jobs_total 4\nrunning 1\nqueued 7\n"
+	if b.String() != want {
+		t.Fatalf("render = %q, want %q", b.String(), want)
+	}
+	if c.Value() != 4 || g.Value() != 1 {
+		t.Fatalf("Value() = %d, %d; want 4, 1", c.Value(), g.Value())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(NewCounter("x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Register(NewGauge("x"))
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	h := NewHistogram("lat_seconds", []float64{0.25, 1, 4})
+	for _, v := range []float64{0.125, 0.25, 0.5, 2, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 10.875 {
+		t.Fatalf("Sum = %v, want 10.875", got)
+	}
+	reg := NewRegistry()
+	reg.Register(h)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.25"} 2`, // 0.125 and the boundary value 0.25
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="4"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 10.875",
+		"lat_seconds_count 5",
+	}, "\n") + "\n"
+	if b.String() != want {
+		t.Fatalf("render =\n%s\nwant\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramVecChildrenSortedAndLabeled(t *testing.T) {
+	v := NewHistogramVec("job_seconds", []string{"kind", "phase"}, []float64{1})
+	v.With("sim", "total").Observe(0.5)
+	v.With("experiment", "total").Observe(2)
+	if v.With("sim", "total") != v.With("sim", "total") {
+		t.Fatal("With is not memoised")
+	}
+	reg := NewRegistry()
+	reg.Register(v)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	expIdx := strings.Index(out, `kind="experiment"`)
+	simIdx := strings.Index(out, `kind="sim"`)
+	if expIdx < 0 || simIdx < 0 || expIdx > simIdx {
+		t.Fatalf("children not rendered sorted by label tuple:\n%s", out)
+	}
+	for _, want := range []string{
+		`job_seconds_bucket{kind="sim",phase="total",le="1"} 1`,
+		`job_seconds_bucket{kind="experiment",phase="total",le="+Inf"} 1`,
+		`job_seconds_sum{kind="experiment",phase="total"} 2`,
+		`job_seconds_count{kind="sim",phase="total"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE job_seconds histogram") != 1 {
+		t.Errorf("want exactly one TYPE line for the family:\n%s", out)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	base := time.Unix(1000, 0)
+	c := NewManualClock(base)
+	if !c.Now().Equal(base) {
+		t.Fatalf("Now = %v, want %v", c.Now(), base)
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(base); got != 3*time.Second {
+		t.Fatalf("advanced by %v, want 3s", got)
+	}
+}

@@ -1,0 +1,18 @@
+// Package obs is the daemon's observability layer: a typed metrics
+// registry rendered in Prometheus text form, lightweight per-job spans
+// with a monotonic injected clock, and a ring buffer of completed job
+// timelines.
+//
+// The package is deliberately stdlib-only and deliberately the ONLY
+// place the serving layer reads the wall clock for timing: everything
+// else takes an obs.Clock (or explicit durations) so the simulation
+// core stays deterministic — the nondeterm analyzer sanctions this
+// package alone and bans obs imports from deterministic packages, so a
+// sim-core package cannot smuggle wall-clock reads in through a Clock.
+//
+// Span recording is allocation-free on the hot path: spans live in a
+// preallocated per-trace array, identifiers are array indices (no maps,
+// no fmt, no string building), and label strings are stored by
+// reference. Recording beyond the span bound drops spans (counted)
+// rather than growing without bound.
+package obs

@@ -8,7 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
+
+	"specvec/internal/obs"
 )
 
 // Source says where GetOrCompute found a value.
@@ -63,7 +64,9 @@ type Cache struct {
 	bytes    int64
 	inflight map[string]*flight
 
-	hits, misses, diskHits, coalesced, evictions atomic.Int64
+	// obs counters carrying their final /metrics names; registered by
+	// Server.buildRegistry.
+	hits, misses, diskHits, coalesced, evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -95,6 +98,11 @@ func NewCache(maxEntries int, maxBytes int64, dir string) *Cache {
 		entries:    map[string]*list.Element{},
 		order:      list.New(),
 		inflight:   map[string]*flight{},
+		hits:       obs.NewCounter("sdvd_cache_hits_total"),
+		misses:     obs.NewCounter("sdvd_cache_misses_total"),
+		diskHits:   obs.NewCounter("sdvd_cache_disk_hits_total"),
+		coalesced:  obs.NewCounter("sdvd_cache_coalesced_total"),
+		evictions:  obs.NewCounter("sdvd_cache_evictions_total"),
 	}
 }
 
@@ -114,7 +122,7 @@ func (c *Cache) Bytes() int64 {
 
 // Counters returns the lifetime hit/miss/disk/coalesced/eviction counts.
 func (c *Cache) Counters() (hits, misses, diskHits, coalesced, evictions int64) {
-	return c.hits.Load(), c.misses.Load(), c.diskHits.Load(), c.coalesced.Load(), c.evictions.Load()
+	return c.hits.Value(), c.misses.Value(), c.diskHits.Value(), c.coalesced.Value(), c.evictions.Value()
 }
 
 // lookup returns the in-memory value for key, refreshing its recency.

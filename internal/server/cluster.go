@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"specvec/internal/experiments"
+	"specvec/internal/obs"
 	"specvec/internal/stats"
 	"specvec/internal/trace"
 )
@@ -67,6 +68,8 @@ type Cluster struct {
 	logf   func(format string, args ...any)
 	expiry time.Duration
 	client *http.Client
+	clock  obs.Clock      // times remote dispatch round trips
+	rtt    *obs.Histogram // sdvd_shard_rtt_seconds; nil outside a Server
 
 	mu      sync.Mutex
 	workers map[string]*workerNode // by advertised URL
@@ -79,10 +82,10 @@ type Cluster struct {
 
 	artifacts *artifactStore
 
-	dispatched atomic.Int64 // tasks entering RunShard
-	remoteRuns atomic.Int64 // tasks completed on a worker
-	localRuns  atomic.Int64 // tasks completed by local fallback
-	requeues   atomic.Int64 // tasks re-placed after a worker failure
+	dispatched *obs.Counter // tasks entering RunShard
+	remoteRuns *obs.Counter // tasks completed on a worker
+	localRuns  *obs.Counter // tasks completed by local fallback
+	requeues   *obs.Counter // tasks re-placed after a worker failure
 }
 
 func newCluster(localWorkers, artifactEntries int, expiry time.Duration, logf func(string, ...any)) *Cluster {
@@ -96,12 +99,17 @@ func newCluster(localWorkers, artifactEntries int, expiry time.Duration, logf fu
 		logf = func(string, ...any) {}
 	}
 	return &Cluster{
-		logf:      logf,
-		expiry:    expiry,
-		client:    &http.Client{}, // no timeout: a shard runs for seconds; contexts bound it
-		workers:   map[string]*workerNode{},
-		localSem:  make(chan struct{}, localWorkers),
-		artifacts: newArtifactStore(artifactEntries),
+		logf:       logf,
+		expiry:     expiry,
+		client:     &http.Client{}, // no timeout: a shard runs for seconds; contexts bound it
+		clock:      obs.RealClock(),
+		workers:    map[string]*workerNode{},
+		localSem:   make(chan struct{}, localWorkers),
+		artifacts:  newArtifactStore(artifactEntries),
+		dispatched: obs.NewCounter("sdvd_cluster_shards_dispatched_total"),
+		remoteRuns: obs.NewCounter("sdvd_cluster_shards_remote_total"),
+		localRuns:  obs.NewCounter("sdvd_cluster_shards_local_total"),
+		requeues:   obs.NewCounter("sdvd_cluster_requeues_total"),
 	}
 }
 
@@ -231,16 +239,33 @@ func (c *Cluster) RunShard(ctx context.Context, task experiments.ShardTask, tr *
 		return c.runLocal(ctx, task, tr)
 	}
 	task.Trace = id
+	sc := obs.FromContext(ctx)
 	tried := map[string]bool{}
 	for {
 		w := c.pick(tried)
 		if w == nil {
 			return c.runLocal(ctx, task, tr)
 		}
-		st, retryable, err := c.post(ctx, w, task)
+		start := c.clock.Now()
+		st, exec, pull, retryable, err := c.post(ctx, w, task, sc)
+		rtt := c.clock.Now().Sub(start)
 		c.release(w)
 		if err == nil {
 			c.remoteRuns.Add(1)
+			if c.rtt != nil {
+				c.rtt.Observe(rtt.Seconds())
+			}
+			// The worker's clock is not ours: it reports how the shard's
+			// time was spent and the coordinator grafts those spans under
+			// the dispatch, so the job timeline shows per-worker remote
+			// execution (and the rtt-minus-exec gap is transfer+queueing).
+			remote := sc.Graft("shard-remote", w.id, rtt, true)
+			if exec > 0 {
+				remote.Graft("shard-exec", "", exec, true)
+			}
+			if pull > 0 {
+				remote.Graft("artifact-pull", trace.ShortID(task.Trace), pull, true)
+			}
 			return st, nil
 		}
 		if ctx.Err() != nil {
@@ -256,38 +281,46 @@ func (c *Cluster) RunShard(ctx context.Context, task experiments.ShardTask, tr *
 	}
 }
 
-// post dispatches one task to a worker. The second return reports
-// whether a failure is the node's fault (network error, 5xx — requeue
-// elsewhere) rather than the task's (4xx — the task would fail
-// anywhere, surface it).
-func (c *Cluster) post(ctx context.Context, w *workerNode, task experiments.ShardTask) (*stats.Sim, bool, error) {
+// post dispatches one task to a worker, propagating the span context on
+// the trace header and decoding the worker's span-duration header
+// (exec, pull) alongside the result. retryable reports whether a
+// failure is the node's fault (network error, 5xx — requeue elsewhere)
+// rather than the task's (4xx — the task would fail anywhere, surface
+// it).
+func (c *Cluster) post(ctx context.Context, w *workerNode, task experiments.ShardTask, sc obs.SpanContext) (st *stats.Sim, exec, pull time.Duration, retryable bool, err error) {
 	body, err := json.Marshal(task)
 	if err != nil {
-		return nil, false, err
+		return nil, 0, 0, false, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/shards", bytes.NewReader(body))
 	if err != nil {
-		return nil, false, err
+		return nil, 0, 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h := sc.Header(); h != "" {
+		req.Header.Set(obs.TraceHeader, h)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, true, err
+		return nil, 0, 0, true, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, true, err
+		return nil, 0, 0, true, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		err := fmt.Errorf("worker %s: HTTP %d: %s", w.id, resp.StatusCode, apiErrorText(payload))
-		return nil, resp.StatusCode < 400 || resp.StatusCode >= 500, err
+		return nil, 0, 0, resp.StatusCode < 400 || resp.StatusCode >= 500, err
 	}
-	st := stats.New()
+	st = stats.New()
 	if err := json.Unmarshal(payload, st); err != nil {
-		return nil, true, fmt.Errorf("worker %s: decoding shard result: %w", w.id, err)
+		return nil, 0, 0, true, fmt.Errorf("worker %s: decoding shard result: %w", w.id, err)
 	}
-	return st, false, nil
+	if e, p, ok := obs.ParseDurations(resp.Header.Get(obs.SpanDurationHeader)); ok {
+		exec, pull = e, p
+	}
+	return st, exec, pull, false, nil
 }
 
 // runLocal executes a task on the coordinator's own cores, bounded by
@@ -305,6 +338,8 @@ func (c *Cluster) runLocal(ctx context.Context, task experiments.ShardTask, tr *
 		<-c.localSem
 	}()
 	c.localRuns.Add(1)
+	lsp := obs.FromContext(ctx).Start("shard-local")
+	defer lsp.End()
 	return experiments.ExecuteShardTask(ctx, task, tr)
 }
 
@@ -332,7 +367,7 @@ type artifactStore struct {
 	byTrace map[*trace.Trace]string // publish memo
 
 	published atomic.Int64
-	pulls     atomic.Int64 // artifact GETs served to workers
+	pulls     *obs.Counter // artifact GETs served to workers
 }
 
 type artifactEntry struct {
@@ -350,6 +385,7 @@ func newArtifactStore(maxEntries int) *artifactStore {
 		entries:    map[string]*list.Element{},
 		order:      list.New(),
 		byTrace:    map[*trace.Trace]string{},
+		pulls:      obs.NewCounter("sdvd_cluster_artifact_pulls_total"),
 	}
 }
 

@@ -146,6 +146,36 @@ func TestClusterByteIdentical(t *testing.T) {
 	if executed == 0 {
 		t.Error("no worker executed any shard")
 	}
+
+	// Observability rides the same harness: the job's timeline must show
+	// the dispatch fan-out with remote halves grafted in — spans marked
+	// remote carrying the worker's reported execution time — and the
+	// latency histograms must have observed the traffic.
+	tl, code, body := getTimeline(t, h.coordTS.URL, view.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cluster timeline: HTTP %d: %s", code, body)
+	}
+	if n := findSpans(tl.Root, "shard-fanout"); len(n) == 0 {
+		t.Error("cluster timeline has no shard-fanout spans")
+	}
+	if n := findSpans(tl.Root, "shard-remote"); len(n) == 0 {
+		t.Error("cluster timeline has no shard-remote spans")
+	} else {
+		for _, sp := range n {
+			if !sp.Remote || sp.Detail == "" {
+				t.Errorf("shard-remote span not marked remote or missing worker id: %+v", sp)
+			}
+		}
+	}
+	if n := findSpans(tl.Root, "shard-exec"); len(n) == 0 {
+		t.Error("cluster timeline has no shard-exec spans (worker never reported exec_us)")
+	}
+	if !strings.Contains(m, "# TYPE sdvd_shard_rtt_seconds histogram") {
+		t.Error("coordinator /metrics missing sdvd_shard_rtt_seconds histogram")
+	}
+	if v := metricValue(t, m, "sdvd_shard_rtt_seconds_count"); v == 0 {
+		t.Error("sdvd_shard_rtt_seconds_count = 0: no RTT observed")
+	}
 }
 
 // failingWorker answers /v1/shards with 500 after optionally succeeding

@@ -10,7 +10,7 @@ import (
 
 	"specvec/internal/config"
 	"specvec/internal/experiments"
-	"specvec/internal/profile"
+	"specvec/internal/obs"
 	"specvec/internal/workload"
 )
 
@@ -24,6 +24,7 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleJobTimeline)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
@@ -95,14 +96,39 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "shard task has no trace address")
 		return
 	}
-	payload, err := s.agent.execute(r.Context(), task)
+	payload, exec, pull, err := s.agent.execute(r.Context(), task)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "shard %s/%s@%d: %v", task.Cfg.Name, task.Bench, task.ReplayFrom, err)
 		return
 	}
+	// The worker cannot append to the coordinator's trace; it echoes the
+	// trace header and reports its time split, and the coordinator grafts
+	// the remote spans into the job timeline.
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		if _, _, ok := obs.ParseTraceHeader(h); ok {
+			w.Header().Set(obs.TraceHeader, h)
+		}
+	}
+	w.Header().Set(obs.SpanDurationHeader, obs.EncodeDurations(exec, pull))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(payload)
+}
+
+// handleJobTimeline serves a completed job's span tree. Timelines are
+// published when a job resolves, so a queued or running job answers 404
+// with a distinct message from an unknown id.
+func (s *Server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if tl, ok := s.sched.timelines.Get(id); ok {
+		writeJSON(w, http.StatusOK, tl)
+		return
+	}
+	if job, ok := s.sched.Job(id); ok {
+		writeError(w, http.StatusNotFound, "job %s has no timeline yet (state %s)", id, job.State())
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
 }
 
 // writeJSON sends v with status code.
@@ -307,83 +333,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders Prometheus-style text: job and cache counters
-// (the warm-path observability the acceptance criteria diff against),
-// aggregated runner and pipeline hot-path counters, and process gauges
-// from internal/profile.
+// handleMetrics renders the obs registry in Prometheus-style text: job
+// and cache counters (the warm-path observability the acceptance
+// criteria diff against), aggregated runner and pipeline hot-path
+// counters, sampled process gauges, and the latency histograms. Every
+// metric name predating the registry is preserved byte-for-byte; the
+// registration order in buildRegistry is the render order.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
-
-	sc := s.sched
-	p("sdvd_uptime_seconds %d", int64(time.Since(s.started).Seconds()))
-	p("sdvd_jobs_submitted_total %d", sc.submitted.Load())
-	p("sdvd_jobs_completed_total %d", sc.completed.Load())
-	p("sdvd_jobs_failed_total %d", sc.failed.Load())
-	p("sdvd_jobs_cancelled_total %d", sc.cancelled.Load())
-	p("sdvd_jobs_running %d", sc.running.Load())
-	p("sdvd_jobs_queued %d", sc.QueueDepth())
-
-	hits, misses, diskHits, coalesced, evictions := s.cache.Counters()
-	p("sdvd_cache_hits_total %d", hits)
-	p("sdvd_cache_misses_total %d", misses)
-	p("sdvd_cache_disk_hits_total %d", diskHits)
-	p("sdvd_cache_coalesced_total %d", coalesced)
-	p("sdvd_cache_evictions_total %d", evictions)
-	p("sdvd_cache_entries %d", s.cache.Len())
-	p("sdvd_cache_bytes %d", s.cache.Bytes())
-
-	if s.traces != nil {
-		p("sdvd_trace_store_loads_total %d", s.traces.loads.Load())
-		p("sdvd_trace_store_disk_loads_total %d", s.traces.diskLoads.Load())
-		p("sdvd_trace_store_stores_total %d", s.traces.stores.Load())
-		p("sdvd_trace_store_evictions_total %d", s.traces.evictions.Load())
-	}
-
-	p("sdvd_sims_total %d", sc.sims.Load())
-	p("sdvd_trace_recordings_total %d", sc.recorded.Load())
-	p("sdvd_trace_replays_total %d", sc.replayed.Load())
-	p("sdvd_runner_trace_loads_total %d", sc.traceLoads.Load())
-
-	// Gang replay: batches is the number of shared trace walks, runs the
-	// member simulations they fed (runs/batches = configs per walk), and
-	// decode_saved the block decodes the sharing avoided (fetches that hit
-	// an already-decoded block instead of decoding their own copy).
-	p("sdvd_gang_batches_total %d", sc.gangBatches.Load())
-	p("sdvd_gang_runs_total %d", sc.gangRuns.Load())
-	p("sdvd_gang_decoded_blocks_total %d", sc.decodedBlocks.Load())
-	p("sdvd_gang_decode_saved_total %d", sc.decodedBlockLoads.Load()-sc.decodedBlocks.Load())
-
-	if s.cluster != nil {
-		// Cluster, coordinator side: live workers, placement and failover
-		// activity, and artifact pulls served to workers.
-		p("sdvd_cluster_workers %d", s.cluster.liveWorkers())
-		p("sdvd_cluster_shards_dispatched_total %d", s.cluster.dispatched.Load())
-		p("sdvd_cluster_shards_remote_total %d", s.cluster.remoteRuns.Load())
-		p("sdvd_cluster_shards_local_total %d", s.cluster.localRuns.Load())
-		p("sdvd_cluster_requeues_total %d", s.cluster.requeues.Load())
-		p("sdvd_cluster_artifact_pulls_total %d", s.cluster.artifacts.pulls.Load())
-		p("sdvd_cluster_artifacts %d", s.cluster.artifacts.len())
-	}
-	if s.agent != nil {
-		// Cluster, worker side: shards executed for a coordinator and the
-		// artifact fetches (plus retried attempts) that fed them.
-		p("sdvd_worker_shards_executed_total %d", s.agent.executed.Load())
-		p("sdvd_worker_artifact_fetches_total %d", s.agent.fetches.Load())
-		p("sdvd_worker_artifact_fetch_retries_total %d", s.agent.retries.Load())
-	}
-
-	h := sc.hotStats()
-	p("sdvd_hotpath_uop_news_total %d", h.UopNews)
-	p("sdvd_hotpath_uop_recycles_total %d", h.UopRecycles)
-	p("sdvd_hotpath_vop_news_total %d", h.VopNews)
-	p("sdvd_hotpath_vop_recycles_total %d", h.VopRecycles)
-
-	rt := profile.ReadRuntime()
-	p("sdvd_go_goroutines %d", rt.Goroutines)
-	p("sdvd_go_heap_alloc_bytes %d", rt.HeapAllocBytes)
-	p("sdvd_go_total_alloc_bytes %d", rt.TotalAllocBytes)
-	p("sdvd_go_mallocs_total %d", rt.Mallocs)
-	p("sdvd_go_frees_total %d", rt.Frees)
-	p("sdvd_go_gc_total %d", rt.NumGC)
+	_ = s.reg.WriteText(w)
 }

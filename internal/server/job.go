@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"specvec/internal/experiments"
+	"specvec/internal/obs"
 )
 
 // JobState is the lifecycle of one submitted job.
@@ -56,6 +57,12 @@ type Job struct {
 	ID   string
 	Spec JobSpec // normalized
 	Key  string  // content address of the result
+
+	// trace is the job's span tree (set by Submit, on the scheduler's
+	// clock); queueSpan is its queue-wait child, opened at submission
+	// and ended when a worker picks the job up.
+	trace     *obs.Trace
+	queueSpan obs.SpanID
 
 	mu       sync.Mutex
 	state    JobState

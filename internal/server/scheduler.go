@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"specvec/internal/experiments"
+	"specvec/internal/obs"
 	"specvec/internal/profile"
 	"specvec/internal/workload"
 	"specvec/internal/wspec"
@@ -53,13 +53,20 @@ type scheduler struct {
 	order  []string // submission order, for listing
 	seq    int64
 
-	submitted, completed, failed, cancelled atomic.Int64
-	running                                 atomic.Int64
+	// clock times jobs (queue wait, phase spans); tests inject a manual
+	// one. The obs counters below carry their final /metrics names and
+	// are registered by Server.buildRegistry.
+	clock     obs.Clock
+	metrics   *serverMetrics
+	timelines *obs.TimelineStore // completed job span trees
+
+	submitted, completed, failed, cancelled *obs.Counter
+	running                                 *obs.Gauge
 
 	// Runner counters aggregated across every job.
-	sims, recorded, replayed, traceLoads atomic.Int64
-	gangBatches, gangRuns                atomic.Int64
-	decodedBlocks, decodedBlockLoads     atomic.Int64
+	sims, recorded, replayed, traceLoads *obs.Counter
+	gangBatches, gangRuns                *obs.Counter
+	decodedBlocks, decodedBlockLoads     *obs.Counter
 	hotMu                                sync.Mutex
 	hot                                  profile.HotStats
 }
@@ -82,15 +89,33 @@ func newScheduler(jobWorkers, queueDepth, simWorkers, history int, cache *Cache,
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &scheduler{
-		cache:   cache,
-		traces:  traces,
-		workers: simWorkers,
-		history: history,
-		logf:    logf,
-		baseCtx: ctx,
-		stop:    stop,
-		queue:   make(chan *Job, queueDepth),
-		jobs:    map[string]*Job{},
+		cache:     cache,
+		traces:    traces,
+		workers:   simWorkers,
+		history:   history,
+		logf:      logf,
+		baseCtx:   ctx,
+		stop:      stop,
+		queue:     make(chan *Job, queueDepth),
+		jobs:      map[string]*Job{},
+		clock:     obs.RealClock(),
+		metrics:   newServerMetrics(),
+		timelines: obs.NewTimelineStore(history),
+
+		submitted: obs.NewCounter("sdvd_jobs_submitted_total"),
+		completed: obs.NewCounter("sdvd_jobs_completed_total"),
+		failed:    obs.NewCounter("sdvd_jobs_failed_total"),
+		cancelled: obs.NewCounter("sdvd_jobs_cancelled_total"),
+		running:   obs.NewGauge("sdvd_jobs_running"),
+
+		sims:              obs.NewCounter("sdvd_sims_total"),
+		recorded:          obs.NewCounter("sdvd_trace_recordings_total"),
+		replayed:          obs.NewCounter("sdvd_trace_replays_total"),
+		traceLoads:        obs.NewCounter("sdvd_runner_trace_loads_total"),
+		gangBatches:       obs.NewCounter("sdvd_gang_batches_total"),
+		gangRuns:          obs.NewCounter("sdvd_gang_runs_total"),
+		decodedBlocks:     obs.NewCounter("sdvd_gang_decoded_blocks_total"),
+		decodedBlockLoads: obs.NewCounter("sdvd_gang_decoded_block_loads_total"),
 	}
 	for i := 0; i < jobWorkers; i++ {
 		s.wg.Add(1)
@@ -134,6 +159,10 @@ func (s *scheduler) Submit(spec JobSpec, tied context.Context) (*Job, error) {
 	id := fmt.Sprintf("j%06d", s.seq)
 	job := newJob(id, spec, spec.Key())
 	job.tied = tied
+	// The job's trace opens at submission: the root span is the job's
+	// whole lifetime and queue-wait measures submission to pickup.
+	job.trace = obs.NewTrace(id, s.clock, "job")
+	job.queueSpan = job.trace.Start(obs.RootSpan, "queue-wait")
 	// The job's context exists from submission so cancelling a queued job
 	// works; the worker that eventually picks it up observes the
 	// already-cancelled context and resolves it without simulating.
@@ -214,9 +243,26 @@ func (s *scheduler) run(job *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	tr := job.trace
+	tr.End(job.queueSpan)
+	s.metrics.queueWait.Observe(tr.Duration(job.queueSpan).Seconds())
+
+	// cache-lookup covers the time before any computation: the memory
+	// and disk checks, or — for a coalesced follower — the whole wait on
+	// the in-flight leader. A true miss ends it the moment the compute
+	// closure starts and opens the compute span in its place; the
+	// trailing End is the idempotent no-op on that path.
+	lookup := tr.Start(obs.RootSpan, "cache-lookup")
 	val, src, err := s.cache.GetOrCompute(ctx, job.Key, func() ([]byte, error) {
-		return s.compute(ctx, job)
+		tr.End(lookup)
+		comp := tr.Start(obs.RootSpan, "compute")
+		defer tr.End(comp)
+		cctx := obs.ContextWith(ctx, obs.SpanContext{T: tr, Span: comp})
+		return s.compute(cctx, job)
 	})
+	tr.End(lookup)
+	s.metrics.cacheLookup.Observe(tr.Duration(lookup).Seconds())
+
 	cancelledErr := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	switch {
 	case err == nil:
@@ -229,8 +275,34 @@ func (s *scheduler) run(job *Job) {
 		s.failed.Add(1)
 		s.logf("job %s failed: %v", job.ID, err)
 	}
+	// The timeline is published before the job resolves: finish closes
+	// job.done, which wakes synchronous submitters, and a client that
+	// then GETs the timeline immediately must find it.
+	state := StateDone
+	switch {
+	case cancelledErr:
+		state = StateCancelled
+	case err != nil:
+		state = StateFailed
+	}
+	s.finishTimeline(job, state)
 	job.finish(val, src, err, cancelledErr)
 	s.prune()
+}
+
+// finishTimeline closes the job's trace, feeds the duration histograms
+// and publishes the span tree to the timeline ring.
+func (s *scheduler) finishTimeline(job *Job, state JobState) {
+	tr := job.trace
+	tr.Finish()
+	kind := job.Spec.Kind
+	s.metrics.jobDuration.With(kind, "total").Observe(tr.Duration(obs.RootSpan).Seconds())
+	for _, sp := range tr.Snapshot() {
+		if sp.Parent == obs.RootSpan && sp.End >= 0 {
+			s.metrics.jobDuration.With(kind, sp.Name).Observe((sp.End - sp.Start).Seconds())
+		}
+	}
+	s.timelines.Add(obs.NewTimeline(job.ID, kind, string(state), tr, s.clock.Now()))
 }
 
 // prune evicts the oldest terminal jobs past the retention bound, so a

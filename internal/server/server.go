@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"specvec/internal/obs"
 )
 
 // Options configure a daemon instance. Zero values mean the documented
@@ -74,26 +76,35 @@ type Server struct {
 	cluster *Cluster     // non-nil on a coordinator
 	agent   *workerAgent // non-nil on a worker
 	mux     http.Handler
+	clock   obs.Clock
 	started time.Time
+	reg     *obs.Registry  // everything /metrics renders
+	runtime *runtimeGauges // sdvd_go_* (sampled, not scrape-time)
 }
 
 // New assembles a Server from opts.
 func New(opts Options) *Server {
+	clock := obs.RealClock()
 	s := &Server{
 		opts:    opts,
 		cache:   NewCache(opts.CacheEntries, opts.CacheBytes, opts.CacheDir),
 		traces:  newTraceCache(opts.TraceEntries, opts.CacheDir),
-		started: time.Now(),
+		clock:   clock,
+		started: clock.Now(),
+		runtime: newRuntimeGauges(),
 	}
 	s.sched = newScheduler(opts.Jobs, opts.QueueDepth, opts.SimWorkers, opts.JobHistory, s.cache, s.traces, opts.Logf)
 	s.sched.gang = opts.Gang
 	if opts.Coordinator {
 		s.cluster = newCluster(opts.SimWorkers, 0, opts.WorkerExpiry, opts.Logf)
+		s.cluster.rtt = s.sched.metrics.shardRTT
 		s.sched.remote = s.cluster
 	}
 	if opts.Worker {
 		s.agent = newWorkerAgent(opts.JoinURL, opts.SimWorkers, opts.HeartbeatEvery, opts.Logf)
 	}
+	s.runtime.sample() // a scrape before the sampler's first tick still sees real values
+	s.reg = s.buildRegistry()
 	s.mux = s.handler()
 	return s
 }

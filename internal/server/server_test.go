@@ -112,7 +112,7 @@ func TestServedExperimentByteIdentical(t *testing.T) {
 	if renderAll(res2.Tables) != want {
 		t.Error("cached tables diverge")
 	}
-	if got := s.sched.sims.Load(); got != 12 {
+	if got := s.sched.sims.Value(); got != 12 {
 		// fig1 runs the 12-benchmark suite once; the resubmission must not
 		// have simulated anything.
 		t.Errorf("daemon executed %d simulations, want 12", got)
@@ -192,6 +192,134 @@ func TestJobEventsSSE(t *testing.T) {
 	}
 	if progress == 0 {
 		t.Error("no progress events streamed")
+	}
+}
+
+// readEvents streams /v1/jobs/{id}/events until the terminal state
+// event, returning every event in arrival order. firstShardDone, if
+// non-nil, is closed when the first shard-done event arrives.
+func readEvents(t *testing.T, base, id string, firstShardDone chan<- struct{}) []Event {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []Event
+	signalled := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Errorf("bad event %q: %v", line, err)
+			return evs
+		}
+		evs = append(evs, ev)
+		if firstShardDone != nil && !signalled && ev.Phase == "shard-done" {
+			signalled = true
+			close(firstShardDone)
+		}
+		if ev.Kind == "state" && ev.State.Terminal() {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Error(err)
+	}
+	if firstShardDone != nil && !signalled {
+		close(firstShardDone)
+	}
+	return evs
+}
+
+// checkEventStream asserts the per-subscriber SSE invariants: sequence
+// numbers strictly increasing and gap-free across the history→live
+// handoff, run-started preceding every shard-done and run-done of the
+// same (cfg,bench) run, and the stream ending in exactly one terminal
+// state event.
+func checkEventStream(t *testing.T, who string, evs []Event, wantShards int) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Errorf("%s: empty event stream", who)
+		return
+	}
+	if evs[0].Seq != 0 {
+		t.Errorf("%s: history replay starts at seq %d, want 0", who, evs[0].Seq)
+	}
+	started := map[string]bool{}
+	shardsDone := map[string]int{}
+	for i, ev := range evs {
+		if i > 0 && ev.Seq != evs[i-1].Seq+1 {
+			t.Errorf("%s: seq %d follows %d (gap or duplicate at the history→live handoff)", who, ev.Seq, evs[i-1].Seq)
+		}
+		run := ev.Cfg + "/" + ev.Bench
+		switch ev.Phase {
+		case "run-started":
+			if started[run] {
+				t.Errorf("%s: duplicate run-started for %s", who, run)
+			}
+			started[run] = true
+		case "shard-done":
+			if !started[run] {
+				t.Errorf("%s: shard-done %d/%d for %s before its run-started", who, ev.Shard, ev.Shards, run)
+			}
+			shardsDone[run]++
+		case "run-done":
+			if !ev.Cached && !started[run] {
+				t.Errorf("%s: run-done for %s before its run-started", who, run)
+			}
+		}
+		if terminal := ev.Kind == "state" && ev.State.Terminal(); terminal != (i == len(evs)-1) {
+			t.Errorf("%s: terminal state event at %d/%d", who, i, len(evs)-1)
+		}
+	}
+	for run, n := range shardsDone {
+		if n != wantShards {
+			t.Errorf("%s: %s completed %d shards, want %d", who, run, n, wantShards)
+		}
+	}
+	if len(shardsDone) != len(started) {
+		t.Errorf("%s: %d runs started but %d reported shards", who, len(started), len(shardsDone))
+	}
+}
+
+// TestSSEOrderingConcurrentPublishers pins event ordering and history
+// replay under concurrent publishers: a sharded fig1 run fans 12 runs × 2
+// shards across the worker pool, so run-started/shard-done/run-done
+// events are published from many goroutines at once. An immediate
+// subscriber watches live; a late subscriber connects only after the
+// first shard-done has already been published and must still see every
+// event from seq 0 — RunStarted before ShardDone for every shard — via
+// history replay. Run under -race, this also hammers publish/subscribe.
+func TestSSEOrderingConcurrentPublishers(t *testing.T) {
+	_, ts := testServer(t, Options{SimWorkers: 4})
+	view, code := postJob(t, ts.URL, JobSpec{Exp: "fig1", Scale: 20_000, Shards: 2}, false)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	firstShardDone := make(chan struct{})
+	earlyDone := make(chan []Event, 1)
+	go func() {
+		earlyDone <- readEvents(t, ts.URL, view.ID, firstShardDone)
+	}()
+
+	// The late subscriber joins mid-job, after shard completions are
+	// already flowing from concurrent pool goroutines.
+	<-firstShardDone
+	late := readEvents(t, ts.URL, view.ID, nil)
+	early := <-earlyDone
+
+	checkEventStream(t, "early", early, 2)
+	checkEventStream(t, "late", late, 2)
+
+	// Both subscribers saw the same total history.
+	if len(early) != len(late) {
+		t.Errorf("early saw %d events, late saw %d", len(early), len(late))
 	}
 }
 
@@ -378,17 +506,17 @@ func TestTraceArtifactsCrossJobs(t *testing.T) {
 	if _, code := postJob(t, ts.URL, JobSpec{Exp: "fig1", Scale: 10_000}, true); code != http.StatusOK {
 		t.Fatalf("fig1: HTTP %d", code)
 	}
-	recordedAfterFirst := s.sched.recorded.Load()
+	recordedAfterFirst := s.sched.recorded.Value()
 	if recordedAfterFirst == 0 {
 		t.Fatal("first job recorded nothing")
 	}
 	if _, code := postJob(t, ts.URL, JobSpec{Exp: "fig3", Scale: 10_000}, true); code != http.StatusOK {
 		t.Fatalf("fig3: HTTP %d", code)
 	}
-	if s.sched.recorded.Load() != recordedAfterFirst {
-		t.Errorf("second job re-recorded traces: %d -> %d", recordedAfterFirst, s.sched.recorded.Load())
+	if s.sched.recorded.Value() != recordedAfterFirst {
+		t.Errorf("second job re-recorded traces: %d -> %d", recordedAfterFirst, s.sched.recorded.Value())
 	}
-	if s.sched.traceLoads.Load() == 0 {
+	if s.sched.traceLoads.Value() == 0 {
 		t.Error("second job loaded no stored traces")
 	}
 }

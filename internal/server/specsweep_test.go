@@ -72,7 +72,7 @@ func TestServedSpecSweep(t *testing.T) {
 
 	// Same content, different formatting: the canonical form keys the
 	// cache, so this must be a hit and must not simulate.
-	before := s.sched.sims.Load()
+	before := s.sched.sims.Value()
 	again, _ := postJob(t, ts.URL, JobSpec{Kind: KindSweep, Specs: sweepSpecJSON, Scale: scale}, true)
 	res2 := decodeResult(t, again)
 	if !again.CacheHit {
@@ -81,7 +81,7 @@ func TestServedSpecSweep(t *testing.T) {
 	if renderAll(res2.Tables) != want {
 		t.Error("cached sweep tables diverge")
 	}
-	if after := s.sched.sims.Load(); after != before {
+	if after := s.sched.sims.Value(); after != before {
 		t.Errorf("cache hit ran %d simulations", after-before)
 	}
 

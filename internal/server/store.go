@@ -6,9 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 
 	"specvec/internal/experiments"
+	"specvec/internal/obs"
 	"specvec/internal/trace"
 )
 
@@ -28,7 +28,7 @@ type traceCache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 
-	loads, diskLoads, stores, evictions atomic.Int64
+	loads, diskLoads, stores, evictions *obs.Counter
 }
 
 type traceEntry struct {
@@ -45,6 +45,10 @@ func newTraceCache(maxEntries int, dir string) *traceCache {
 		dir:        dir,
 		entries:    map[string]*list.Element{},
 		order:      list.New(),
+		loads:      obs.NewCounter("sdvd_trace_store_loads_total"),
+		diskLoads:  obs.NewCounter("sdvd_trace_store_disk_loads_total"),
+		stores:     obs.NewCounter("sdvd_trace_store_stores_total"),
+		evictions:  obs.NewCounter("sdvd_trace_store_evictions_total"),
 	}
 }
 

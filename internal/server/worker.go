@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"specvec/internal/experiments"
+	"specvec/internal/obs"
 	"specvec/internal/trace"
 )
 
@@ -41,6 +42,7 @@ type workerAgent struct {
 	heartbeat time.Duration
 	logf      func(format string, args ...any)
 	client    *http.Client
+	clock     obs.Clock // times shard execution and artifact pulls
 
 	sem chan struct{} // bounds concurrent shard executions
 
@@ -51,15 +53,18 @@ type workerAgent struct {
 
 	selfURL atomic.Value // string; set when the heartbeat loop starts
 
-	executed atomic.Int64 // shard tasks completed
-	fetches  atomic.Int64 // artifact pulls performed (misses)
-	retries  atomic.Int64 // pull attempts beyond the first
+	executed *obs.Counter // shard tasks completed
+	fetches  *obs.Counter // artifact pulls performed (misses)
+	retries  *obs.Counter // pull attempts beyond the first
 }
 
-// tracePull coalesces concurrent fetches of one artifact.
+// tracePull coalesces concurrent fetches of one artifact. dur is the
+// leader's pull time, reported by every coalesced shard as its own
+// artifact cost (set before done closes).
 type tracePull struct {
 	done chan struct{}
 	tr   *trace.Trace
+	dur  time.Duration
 	err  error
 }
 
@@ -84,10 +89,14 @@ func newWorkerAgent(joinURL string, cores int, heartbeat time.Duration, logf fun
 		heartbeat: heartbeat,
 		logf:      logf,
 		client:    &http.Client{Timeout: 30 * time.Second},
+		clock:     obs.RealClock(),
 		sem:       make(chan struct{}, cores),
 		entries:   map[string]*list.Element{},
 		order:     list.New(),
 		pending:   map[string]*tracePull{},
+		executed:  obs.NewCounter("sdvd_worker_shards_executed_total"),
+		fetches:   obs.NewCounter("sdvd_worker_artifact_fetches_total"),
+		retries:   obs.NewCounter("sdvd_worker_artifact_fetch_retries_total"),
 	}
 }
 
@@ -144,55 +153,63 @@ type joinRequest struct {
 }
 
 // execute runs one shard task: resolve the recording (cache or pull),
-// replay the interval, return the statistics. Bounded by the worker's
-// simulation pool.
-func (a *workerAgent) execute(ctx context.Context, task experiments.ShardTask) ([]byte, error) {
+// replay the interval, return the statistics plus how the time was
+// spent (replay, artifact pull) for the coordinator to graft into the
+// job timeline. Bounded by the worker's simulation pool.
+func (a *workerAgent) execute(ctx context.Context, task experiments.ShardTask) (payload []byte, exec, pull time.Duration, err error) {
 	select {
 	case a.sem <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, 0, 0, ctx.Err()
 	}
 	defer func() { <-a.sem }()
-	tr, err := a.traceFor(ctx, task.Trace)
+	tr, pull, err := a.traceFor(ctx, task.Trace)
 	if err != nil {
-		return nil, err
+		return nil, 0, pull, err
 	}
+	start := a.clock.Now()
 	st, err := experiments.ExecuteShardTask(ctx, task, tr)
+	exec = a.clock.Now().Sub(start)
 	if err != nil {
-		return nil, err
+		return nil, exec, pull, err
 	}
 	a.executed.Add(1)
-	return json.Marshal(st)
+	payload, err = json.Marshal(st)
+	return payload, exec, pull, err
 }
 
 // traceFor resolves a recording by content address: LRU hit, or a
 // coalesced pull from the coordinator's artifact store with retry,
-// backoff and content verification.
-func (a *workerAgent) traceFor(ctx context.Context, id string) (*trace.Trace, error) {
+// backoff and content verification. dur is the pull cost this shard
+// paid: zero on a cache hit, the fetch time otherwise (coalesced
+// followers report the leader's).
+func (a *workerAgent) traceFor(ctx context.Context, id string) (tr *trace.Trace, dur time.Duration, err error) {
 	if id == "" {
-		return nil, fmt.Errorf("shard task has no trace address")
+		return nil, 0, fmt.Errorf("shard task has no trace address")
 	}
 	a.mu.Lock()
 	if el, ok := a.entries[id]; ok {
 		a.order.MoveToFront(el)
 		tr := el.Value.(*workerTraceEntry).tr
 		a.mu.Unlock()
-		return tr, nil
+		return tr, 0, nil
 	}
 	if p, ok := a.pending[id]; ok {
 		a.mu.Unlock()
 		select {
 		case <-p.done:
-			return p.tr, p.err
+			return p.tr, p.dur, p.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		}
 	}
 	p := &tracePull{done: make(chan struct{})}
 	a.pending[id] = p
 	a.mu.Unlock()
 
+	start := a.clock.Now()
 	p.tr, p.err = a.pull(ctx, id)
+	p.dur = a.clock.Now().Sub(start)
 	a.mu.Lock()
 	delete(a.pending, id)
 	if p.err == nil {
@@ -205,7 +222,7 @@ func (a *workerAgent) traceFor(ctx context.Context, id string) (*trace.Trace, er
 	}
 	a.mu.Unlock()
 	close(p.done)
-	return p.tr, p.err
+	return p.tr, p.dur, p.err
 }
 
 // pull fetches one artifact with bounded retry and exponential backoff,

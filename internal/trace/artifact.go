@@ -50,3 +50,13 @@ func VerifyContentID(encoded []byte, id string) error {
 	}
 	return nil
 }
+
+// ShortID abbreviates a content address for logs and span details: the
+// first 12 hex digits, enough to disambiguate any plausible artifact
+// population. Shorter inputs pass through unchanged.
+func ShortID(id string) string {
+	if len(id) <= 12 {
+		return id
+	}
+	return id[:12]
+}
